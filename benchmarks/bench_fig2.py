@@ -1,0 +1,20 @@
+"""Regenerate Figure 2 (load perturbation + adaptive convergence)."""
+
+from .conftest import run_and_report
+
+
+def test_fig2_adaptive_convergence(benchmark):
+    result = run_and_report(benchmark, "fig2")
+    # Panel (a): the perturbed Primary distribution must sit visibly above
+    # the Original at the P85 mark (the paper's 50 -> 350 observation).
+    vals = {}
+    for panel, x, series, value in result.rows:
+        if panel == "a":
+            vals.setdefault(series, []).append((x, value))
+    orig = dict(vals["Original"])
+    pert = dict(vals["Primary"])
+    x85 = min(orig, key=lambda p: abs(p - 0.85))
+    assert pert[x85] > orig[x85], "30% reissue budget must inflate the primary CDF"
+    # Panel (b): predicted and actual P95 both recorded for every trial.
+    trials_b = [r for r in result.rows if r[0] == "b"]
+    assert len(trials_b) >= 4

@@ -1,0 +1,33 @@
+"""Regenerate Figure 3 (SingleR vs SingleD on the three §5.1 workloads)."""
+
+import numpy as np
+
+from .conftest import run_and_report
+
+
+def test_fig3_singler_vs_singled(benchmark):
+    result = run_and_report(benchmark, "fig3")
+    by = {}
+    for row in result.rows:
+        wl, budget, policy = row[0], row[1], row[2]
+        by.setdefault((wl, policy), []).append((budget, row[7]))  # ratio
+
+    # Shape check 1: on every workload the best SingleR reduction ratio
+    # beats 1 (reissue helps), and on Independent it exceeds ~1.5x.
+    for wl in ("independent", "correlated", "queueing"):
+        ratios = [r for _, r in by[(wl, "SingleR")]]
+        assert max(ratios) > 1.0, f"SingleR never helped on {wl}"
+    assert max(r for _, r in by[("independent", "SingleR")]) > 1.5
+
+    # Shape check 2: at the smallest budget SingleR >= SingleD on the
+    # static workloads (randomization is what makes small budgets usable).
+    for wl in ("independent", "correlated"):
+        b0 = min(b for b, _ in by[(wl, "SingleR")])
+        sr = dict(by[(wl, "SingleR")])[b0]
+        sd = dict(by[(wl, "SingleD")])[b0]
+        assert sr >= sd - 0.05, f"SingleD beat SingleR at small budget on {wl}"
+
+    # Shape check 3: correlated gains < independent gains (§5.3).
+    assert max(r for _, r in by[("correlated", "SingleR")]) < max(
+        r for _, r in by[("independent", "SingleR")]
+    )

@@ -1,0 +1,11 @@
+"""Regenerate Figure 4 (response-time correlation scatter plots)."""
+
+from .conftest import run_and_report
+
+
+def test_fig4_queueing_dampens_correlation(benchmark):
+    result = run_and_report(benchmark, "fig4")
+    corr_c = result.meta["corr_correlated"]
+    corr_q = result.meta["corr_queueing"]
+    assert corr_c > 0.3, "Correlated workload must show strong X/Y correlation"
+    assert corr_q < corr_c, "queueing must dampen the correlation (§5.3)"

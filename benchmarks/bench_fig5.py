@@ -1,0 +1,36 @@
+"""Regenerate Figure 5 (correlation / load-balancing / discipline sweeps)."""
+
+from .conftest import run_and_report
+
+
+def test_fig5_sensitivity(benchmark):
+    result = run_and_report(benchmark, "fig5")
+    rows = result.rows
+
+    # Panel (a): P95 under SingleR@25% grows with the correlation ratio
+    # overall (paper Fig 5a) — compare the endpoints.
+    a = sorted(
+        [(r[2], r[3]) for r in rows if r[0] == "a" and r[1].startswith("SingleR")]
+    )
+    assert a[-1][1] >= a[0][1] * 0.8, "strong correlation should not *help*"
+
+    # Panel (b): smarter balancers lower the no-reissue baseline
+    # (min-of-all <= min-of-2 <= random, within noise).
+    base = {
+        r[1]: r[3] for r in rows if r[0] == "b" and r[2] == 0.0
+    }
+    assert base["min-of-all"] <= base["random"]
+    assert base["min-of-2"] <= base["random"]
+
+    # Panel (b): SingleR reduces P95 vs baseline for every balancer
+    # at some budget (paper: 2x or more).
+    for variant in ("random", "min-of-2", "min-of-all"):
+        tails = [r[3] for r in rows if r[0] == "b" and r[1] == variant and r[2] > 0]
+        assert min(tails) < base[variant], f"no reduction under {variant}"
+
+    # Panel (c): discipline changes have modest impact — every discipline
+    # still sees a reduction.
+    base_c = {r[1]: r[3] for r in rows if r[0] == "c" and r[2] == 0.0}
+    for variant in ("fifo", "prioritized-fifo", "prioritized-lifo"):
+        tails = [r[3] for r in rows if r[0] == "c" and r[1] == variant and r[2] > 0]
+        assert min(tails) < base_c[variant]

@@ -1,0 +1,32 @@
+"""Regenerate Figure 6 (distribution / utilization / percentile matrix)."""
+
+import numpy as np
+
+from .conftest import run_and_report
+
+
+def test_fig6_utilization_and_percentiles(benchmark):
+    result = run_and_report(benchmark, "fig6")
+    # rows: distribution, utilization, percentile, budget, tail, reduction, rate
+    best = {}
+    for dist, util, pct, budget, tail, red, rate in result.rows:
+        key = (dist, util, pct)
+        best[key] = max(best.get(key, 0.0), red)
+
+    # Paper observation 1: lower utilization -> larger best reduction
+    # (compare 20% vs 50% for each distribution at P95).
+    for dist in ("LogNormal(1,1)", "Exp(0.1)"):
+        assert best[(dist, 0.2, 0.95)] >= best[(dist, 0.5, 0.95)] * 0.85, (
+            f"{dist}: 20% util should beat 50% util"
+        )
+
+    # Paper observation 2: reissue still helps (or at worst breaks even)
+    # at 50% utilization, and clearly helps at 20% (paper: up to ~1.5x at
+    # 50%; the bench scale is too small to resolve more than break-even
+    # there, see EXPERIMENTS.md for standard-scale numbers).
+    for dist in ("LogNormal(1,1)", "Exp(0.1)"):
+        assert best[(dist, 0.5, 0.95)] > 0.98
+        assert best[(dist, 0.2, 0.95)] > 1.15
+
+    # Reductions recorded for both percentiles everywhere.
+    assert all((d, u, 0.99) in best for (d, u, p) in best if p == 0.95)

@@ -1,0 +1,68 @@
+"""Regenerate Figure 7 (Redis / Lucene system experiments).
+
+Split into one bench per panel so timings are attributable; panel (a) is
+the headline SingleR-vs-SingleD comparison at 40% utilization.
+"""
+
+import numpy as np
+
+from .conftest import BENCH_SCALE, run_and_report
+
+
+def test_fig7a_singler_vs_singled(benchmark):
+    result = run_and_report(benchmark, "fig7", panels="a")
+    rows = [r for r in result.rows if r[0] == "a"]
+    base = {r[1]: r[4] for r in rows if r[2] == "baseline"}
+    best = {}
+    for _, system, series, budget, tail, rate in rows:
+        if series in ("SingleR", "SingleD"):
+            key = (system, series)
+            best[key] = min(best.get(key, np.inf), tail)
+
+    # Redis: visible tail collapse (paper: 30-70% at 2-5%).
+    assert best[("redis", "SingleR")] < base["redis"] * 0.9
+    # SingleR at least matches SingleD on both systems (15% tolerance: at
+    # bench scale the two fits are separated by single-run P99 noise; the
+    # paper's own curves converge at larger budgets).
+    for system in ("redis", "lucene"):
+        assert best[(system, "SingleR")] <= best[(system, "SingleD")] * 1.15
+    # The paper's small-budget claim: at the smallest budget SingleR is
+    # the better policy (randomization lets it reissue early enough).
+    small_b = min(r[3] for r in rows if r[2] == "SingleR")
+    sr_small = [r[4] for r in rows if r[2] == "SingleR" and r[3] == small_b]
+    sd_small = [r[4] for r in rows if r[2] == "SingleD" and r[3] == small_b]
+    assert np.mean(sr_small) <= np.mean(sd_small) * 1.05
+    # Redis gains exceed Lucene gains (§6.3).
+    red_redis = base["redis"] / best[("redis", "SingleR")]
+    red_lucene = base["lucene"] / best[("lucene", "SingleR")]
+    assert red_redis > red_lucene
+
+
+def test_fig7b_utilization_sweep(benchmark):
+    result = run_and_report(benchmark, "fig7", panels="b")
+    rows = [r for r in result.rows if r[0] == "b"]
+    # Baseline P99 grows with utilization for both systems.
+    for system in ("redis", "lucene"):
+        base = {
+            r[2]: r[4] for r in rows if r[1] == system and r[3] == 0.0
+        }
+        assert base["util=0.2"] < base["util=0.6"]
+    # At every utilization some budget improves on (or matches) baseline.
+    for system in ("redis", "lucene"):
+        for util in ("util=0.2", "util=0.4", "util=0.6"):
+            sel = [r for r in rows if r[1] == system and r[2] == util]
+            base = [r[4] for r in sel if r[3] == 0.0][0]
+            tails = [r[4] for r in sel if r[3] > 0.0]
+            assert min(tails) <= base * 1.05, f"{system} {util} never helped"
+
+
+def test_fig7c_best_budget_vs_utilization(benchmark):
+    result = run_and_report(benchmark, "fig7", panels="c")
+    rows = [r for r in result.rows if r[0] == "c"]
+    for system in ("redis", "lucene"):
+        no_r = {r[3]: r[4] for r in rows if r[1] == system and r[2] == "no-reissue"}
+        best = {r[3]: r[4] for r in rows if r[1] == system and r[2] == "best-budget"}
+        assert set(no_r) == set(best)
+        # Best-budget curve sits at or below the no-reissue curve.
+        wins = sum(1 for u in no_r if best[u] <= no_r[u] * 1.02)
+        assert wins >= len(no_r) - 1, f"{system}: best-budget curve above baseline"

@@ -1,0 +1,18 @@
+"""Regenerate Figure 8 (budget binary search on Redis @ 20% util)."""
+
+from .conftest import run_and_report
+
+
+def test_fig8_budget_search(benchmark):
+    result = run_and_report(benchmark, "fig8")
+    # The search must settle on a small positive budget (paper: ~8%) that
+    # beats the no-reissue baseline.
+    best_budget = result.meta["best_budget"]
+    assert 0.0 < best_budget <= 0.25
+    first_p99 = result.rows[0][2]  # trial 0 = baseline
+    final_best_p99 = result.rows[-1][5]
+    assert final_best_p99 < first_p99
+    # Step sizes expand on acceptance / flip-halve on rejection: the trial
+    # budgets must not be monotone (it is a search, not a sweep).
+    budgets = [r[1] for r in result.rows]
+    assert any(b2 < b1 for b1, b2 in zip(budgets[1:], budgets[2:]))

@@ -1,0 +1,18 @@
+"""Regenerate Figure 9 (service-time histograms + moment checks)."""
+
+import pytest
+
+from .conftest import run_and_report
+
+
+def test_fig9_service_profiles(benchmark):
+    result = run_and_report(benchmark, "fig9")
+    vals = {(r[0], r[1]): r[2] for r in result.rows}
+    # Redis (§6.2): mean ~2.37 ms, heavy min-cost tail, ~20 queries of death.
+    assert vals[("redis", "mean_ms")] == pytest.approx(2.37, abs=1.0)
+    assert 5 <= vals[("redis", "count_above_150ms")] <= 60
+    assert vals[("redis", "frac_below_10ms")] > 0.93
+    # Lucene (§6.3): mean ~39.7 ms, std ~22 ms, ~1-3% above 100 ms.
+    assert vals[("lucene", "mean_ms")] == pytest.approx(39.73, rel=0.1)
+    assert vals[("lucene", "std_ms")] == pytest.approx(21.88, rel=0.4)
+    assert 0.002 < vals[("lucene", "frac_above_100ms")] < 0.05

@@ -1,0 +1,53 @@
+"""Microbenchmarks for the library's algorithmic/performance claims.
+
+* ``ComputeOptimalSingleR`` runs in Θ(N + sort) — near-linear scaling;
+* the correlation-aware variant runs in Θ(N log N);
+* the discrete-event engine sustains a healthy event throughput;
+* empirical-CDF queries are O(log N) via searchsorted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.correlated import compute_optimal_singler_correlated
+from repro.core.optimizer import compute_optimal_singler
+from repro.core.policies import SingleR
+from repro.distributions.empirical import tail_percentile
+from repro.simulation.workloads import queueing_workload
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000, 1_000_000])
+def test_perf_optimizer_scaling(benchmark, n):
+    rng = np.random.default_rng(0)
+    rx = rng.lognormal(1.0, 1.0, n)
+    fit = benchmark(compute_optimal_singler, rx, rx, 0.99, 0.05)
+    assert fit.predicted_tail <= fit.baseline_tail
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def test_perf_correlated_optimizer_scaling(benchmark, n):
+    rng = np.random.default_rng(1)
+    x = rng.lognormal(1.0, 1.0, n)
+    y = 0.5 * x + rng.lognormal(1.0, 1.0, n)
+    fit = benchmark(
+        compute_optimal_singler_correlated, x, x, y, 0.99, 0.05
+    )
+    assert 0.0 <= fit.prob <= 1.0
+
+
+def test_perf_engine_throughput(benchmark):
+    system = queueing_workload(n_queries=20_000, utilization=0.3)
+
+    def run_once():
+        return system.run(SingleR(10.0, 0.3), np.random.default_rng(3))
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.n_queries == 19_000  # after 5% warmup trim
+
+
+@pytest.mark.parametrize("n", [1_000, 1_000_000])
+def test_perf_tail_percentile(benchmark, n):
+    rng = np.random.default_rng(2)
+    lat = rng.exponential(1.0, n)
+    v = benchmark(tail_percentile, lat, 99.0)
+    assert v > 0

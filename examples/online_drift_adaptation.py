@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Following a diurnal load pattern with on-line adaptation (§4.4).
+
+Scenario: a service's latency distribution drifts through the day —
+overnight it is fast; at peak, queueing stretches everything. A reissue
+policy tuned at 3 a.m. reissues far too eagerly at noon (blowing the
+budget exactly when capacity is scarce), and a noon policy wastes its
+budget at night.
+
+:class:`repro.OnlinePolicyController` closes the loop: stream response
+times in, read the current ``SingleR(d, q)`` out. It refits from a
+sliding window on a cadence and immediately (undamped) when a KS drift
+detector fires.
+
+Run:  python examples/online_drift_adaptation.py
+"""
+
+import numpy as np
+
+from repro import OnlinePolicyController
+
+PERCENTILE = 0.95
+BUDGET = 0.08
+BATCH = 1_000  # observations between controller feeds
+
+
+def hourly_latency_batch(rng, hour: float, n: int = BATCH) -> np.ndarray:
+    """Synthetic diurnal pattern: lognormal whose scale follows a
+    day-shaped sinusoid (peak ~2.4x the overnight trough)."""
+    scale = 1.0 + 0.7 * (1 + np.sin((hour - 9.0) / 24.0 * 2 * np.pi))
+    return rng.lognormal(np.log(10.0 * scale), 0.8, n)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    controller = OnlinePolicyController(
+        percentile=PERCENTILE,
+        budget=BUDGET,
+        refit_interval=3_000,
+        learning_rate=0.5,
+        drift_threshold=0.12,
+        window=20_000,
+    )
+
+    print(" hour   P95(window)   policy d      q     refits  last trigger")
+    for step in range(48):  # two simulated days, half-hour batches
+        hour = (step * 0.5) % 24.0
+        batch = hourly_latency_batch(rng, hour)
+        policy = controller.observe(batch)
+        if step % 4 == 0:
+            p95 = controller.log.percentile(PERCENTILE)
+            last = controller.events[-1].reason if controller.events else "-"
+            print(
+                f"{hour:5.1f}   {p95:11.1f}   {policy.delay:8.1f}"
+                f"  {policy.prob:5.2f}  {controller.n_refits:6d}  {last}"
+            )
+
+    drift_refits = sum(1 for e in controller.events if e.reason == "drift")
+    batch_refits = controller.n_refits - drift_refits
+    print(
+        f"\n{controller.n_refits} refits over 2 days "
+        f"({batch_refits} scheduled, {drift_refits} drift-triggered)."
+    )
+    print(
+        "The reissue delay tracks the window P95 up and down with the "
+        "diurnal swing — a static policy would be mis-tuned half the day."
+    )
+    # Sanity: the controller kept the budget promise on the final window.
+    rx = controller.log.primary()
+    surv = float((rx >= controller.policy.delay).mean())
+    print(
+        f"final policy spends q*Pr(X>d) = "
+        f"{controller.policy.prob * surv:.3f} (budget {BUDGET})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""SLA planning for a search service: minimal budget, best budget (§4.4).
+
+Scenario: a search tier (Lucene-style: ~40 ms mean service, single shared
+FIFO per server) signs an SLA of the form "99% of queries under T ms".
+Two planning questions from the paper's §4.4:
+
+* **Best budget** — which reissue budget minimizes the P99 outright?
+  (Fig. 8's expanding/halving search.)
+* **Minimal budget for an SLA** — what is the *cheapest* budget that
+  meets a given latency target?
+
+Run:  python examples/search_sla_planning.py        (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro import NoReissue, find_optimal_budget, min_budget_for_sla
+from repro.core.adaptive import AdaptiveSingleROptimizer
+from repro.systems import LuceneClusterSystem
+
+PERCENTILE = 0.99
+SEEDS = (5, 7)
+
+
+def main() -> None:
+    system = LuceneClusterSystem(utilization=0.4, n_queries=12_000)
+
+    def p99_at_budget(budget: float) -> float:
+        """Tune SingleR at this budget, then measure the median P99."""
+        if budget <= 0.0:
+            runs = [
+                system.run(NoReissue(), np.random.default_rng(s)) for s in SEEDS
+            ]
+            return float(np.median([r.tail(PERCENTILE) for r in runs]))
+        opt = AdaptiveSingleROptimizer(
+            percentile=PERCENTILE, budget=budget, learning_rate=0.5
+        )
+        result = opt.optimize(system, trials=4, rng=np.random.default_rng(2))
+        ok = [t for t in result.trials if t.reissue_rate <= 1.5 * budget]
+        policy = min(ok or result.trials, key=lambda t: t.actual_tail).policy
+        runs = [system.run(policy, np.random.default_rng(s)) for s in SEEDS]
+        return float(np.median([r.tail(PERCENTILE) for r in runs]))
+
+    baseline = p99_at_budget(0.0)
+    print(f"no-reissue P99: {baseline:.0f} ms\n")
+
+    # Question 1: the tail-minimizing budget.
+    print("searching for the best budget (Fig. 8 procedure)...")
+    search = find_optimal_budget(
+        p99_at_budget, initial_step=0.01, max_trials=8,
+        baseline_latency=baseline,
+    )
+    for t in search.trials:
+        mark = "*" if t.accepted else " "
+        print(f"  {mark} trial {t.trial}: budget={t.budget:.3f} -> {t.latency:.0f} ms")
+    print(
+        f"best budget {search.best_budget:.1%} "
+        f"achieves P99 {search.best_latency:.0f} ms\n"
+    )
+
+    # Question 2: the cheapest budget meeting an SLA 10% below baseline.
+    target = 0.9 * baseline
+    print(f"minimal budget for SLA 'P99 <= {target:.0f} ms'...")
+    sla = min_budget_for_sla(
+        p99_at_budget, target_latency=target, initial_step=0.01, max_trials=8
+    )
+    if sla.best_latency <= target:
+        print(
+            f"SLA met with budget {sla.best_budget:.1%} "
+            f"(P99 {sla.best_latency:.0f} ms)"
+        )
+    else:
+        print(
+            f"SLA not reachable within the trial limit; closest "
+            f"P99 {sla.best_latency:.0f} ms at budget {sla.best_budget:.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

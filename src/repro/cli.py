@@ -1,0 +1,86 @@
+"""``repro-experiment``: regenerate any figure of the paper from the CLI.
+
+Examples
+--------
+::
+
+    repro-experiment list
+    repro-experiment fig3 --scale quick
+    repro-experiment fig7 --scale standard --out results/
+    repro-experiment all --scale quick --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import time
+from pathlib import Path
+
+from .experiments import EXPERIMENTS, SCALES, run_experiment
+
+
+def _write_outputs(out_dir: Path, result) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{result.experiment_id}.txt").write_text(result.render() + "\n")
+    (out_dir / f"{result.experiment_id}.csv").write_text(result.csv() + "\n")
+
+
+def main(argv=None) -> int:
+    # Behave well in shell pipelines (`repro-experiment list | head`).
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce figures from 'Optimal Reissue Policies for Reducing "
+            "Tail Latency' (SPAA 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig2..fig9), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="standard",
+        choices=sorted(SCALES),
+        help="fidelity/runtime trade-off (default: standard)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for .txt/.csv outputs (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for eid in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[eid].__module__ or "").rsplit(".", 1)[-1]
+            print(f"{eid}  ({doc})")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for eid in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(eid, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        if args.out is not None:
+            _write_outputs(args.out, result)
+            print(f"{eid}: wrote {args.out}/{eid}.txt (+.csv) in {elapsed:.1f}s")
+        else:
+            print(result.render())
+            print(f"[{eid} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Analytic (closed-form distribution) reissue-policy optimization.
+
+The theory of Sections 2-3 operates on true distributions rather than
+sample logs. This module solves the constrained optimization problem of
+§2.3 for :class:`~repro.distributions.base.Distribution` objects:
+
+    minimize t  s.t.  Pr(X<=t) + q Pr(X>t) Pr(Y<=t-d) >= k,
+                      q Pr(X>=d) <= B
+
+It is used by the tests to validate the data-driven optimizer against
+ground truth, and to check Theorems 3.1/3.2 numerically (optimal DoubleR /
+MultipleR never beat optimal SingleR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..distributions.base import Distribution
+from .policies import DoubleR, MultipleR, SingleD, SingleR
+
+
+@dataclass(frozen=True)
+class AnalyticFit:
+    """Optimal policy parameters under known distributions."""
+
+    policy: object
+    tail: float
+    percentile: float
+    budget: float
+
+
+def singler_tail_for_delay(
+    d: float,
+    primary: Distribution,
+    reissue: Distribution,
+    percentile: float,
+    budget: float,
+    t_hi: float,
+) -> float:
+    """k-th percentile tail achieved by SingleR at delay ``d`` (full budget)."""
+    surv_d = float(primary.survival(d))
+    q = 1.0 if surv_d <= budget else budget / surv_d
+    policy = SingleR(d, q)
+    return policy.tail_latency(percentile * 100.0, primary, reissue, t_hi=t_hi)
+
+
+def optimal_singler(
+    primary: Distribution,
+    reissue: Distribution,
+    percentile: float,
+    budget: float,
+    grid: int = 256,
+) -> AnalyticFit:
+    """Optimal SingleR by grid search + golden-section refinement over ``d``.
+
+    The objective ``tail(d)`` is continuous but not convex in general, so a
+    dense quantile-spaced grid locates the basin and a bounded scalar
+    minimize polishes it.
+    """
+    _check(percentile, budget)
+    t_hi = float(primary.quantile(1.0 - min(1e-9, (1.0 - percentile) / 1e3)))
+    # Candidate delays spread over the quantiles of X, from immediate to
+    # the SingleD delay d' where Pr(X > d') = B (the MultipleR upper end).
+    d_max = float(primary.quantile(1.0 - budget)) if budget < 1.0 else 0.0
+    ps = np.linspace(0.0, 1.0, grid)
+    cands = np.unique(
+        np.concatenate([[0.0], np.asarray(primary.quantile(ps * (1.0 - budget)))])
+    )
+    cands = cands[cands <= d_max + 1e-12]
+    tails = np.array(
+        [
+            singler_tail_for_delay(d, primary, reissue, percentile, budget, t_hi)
+            for d in cands
+        ]
+    )
+    best_i = int(np.argmin(tails))
+    lo = cands[max(best_i - 1, 0)]
+    hi = cands[min(best_i + 1, cands.size - 1)]
+    if hi > lo:
+        res = optimize.minimize_scalar(
+            lambda d: singler_tail_for_delay(
+                d, primary, reissue, percentile, budget, t_hi
+            ),
+            bounds=(float(lo), float(hi)),
+            method="bounded",
+            options={"xatol": 1e-10 * max(hi, 1.0)},
+        )
+        d_best = float(res.x) if res.fun <= tails[best_i] else float(cands[best_i])
+    else:
+        d_best = float(cands[best_i])
+    surv = float(primary.survival(d_best))
+    q = 1.0 if surv <= budget else budget / surv
+    policy = SingleR(d_best, q)
+    tail = policy.tail_latency(percentile * 100.0, primary, reissue, t_hi=t_hi)
+    return AnalyticFit(policy=policy, tail=tail, percentile=percentile, budget=budget)
+
+
+def optimal_singled(
+    primary: Distribution,
+    reissue: Distribution,
+    percentile: float,
+    budget: float,
+) -> AnalyticFit:
+    """The SingleD policy for a budget (delay fixed by Eq. 2) and its tail."""
+    _check(percentile, budget)
+    policy = SingleD.for_budget(primary, budget)
+    t_hi = float(primary.quantile(1.0 - min(1e-9, (1.0 - percentile) / 1e3)))
+    tail = policy.tail_latency(percentile * 100.0, primary, reissue, t_hi=t_hi)
+    return AnalyticFit(policy=policy, tail=tail, percentile=percentile, budget=budget)
+
+
+def optimal_doubler(
+    primary: Distribution,
+    reissue: Distribution,
+    percentile: float,
+    budget: float,
+    grid: int = 24,
+) -> AnalyticFit:
+    """Best DoubleR policy by exhaustive grid over (d1, d2, q1 split).
+
+    Used to check Theorem 3.1 numerically: the returned tail should never
+    be (meaningfully) below the optimal SingleR tail for the same budget.
+    The budget constraint (Eq. 15) is enforced by solving for q2 given q1.
+    """
+    _check(percentile, budget)
+    t_hi = float(primary.quantile(1.0 - min(1e-9, (1.0 - percentile) / 1e3)))
+    d_max = float(primary.quantile(1.0 - budget)) if budget < 1.0 else 0.0
+    ds = np.asarray(
+        primary.quantile(np.linspace(0.0, 1.0, grid) * (1.0 - budget))
+    )
+    ds = np.unique(np.concatenate([[0.0], ds[ds <= d_max + 1e-12]]))
+    q1s = np.linspace(0.0, 1.0, grid)
+
+    best_tail = np.inf
+    best = None
+    for d1 in ds:
+        surv1 = float(primary.survival(d1))
+        for d2 in ds[ds >= d1]:
+            surv2 = float(primary.survival(d2))
+            fy12 = float(reissue.cdf(max(d2 - d1, 0.0)))
+            for q1 in q1s:
+                if q1 * surv1 > budget + 1e-12:
+                    continue
+                denom = surv2 * (1.0 - q1 * fy12)
+                if denom <= 0.0:
+                    q2 = 1.0
+                else:
+                    q2 = min(1.0, (budget - q1 * surv1) / denom)
+                if q2 < 0.0:
+                    continue
+                pol = DoubleR(float(d1), float(q1), float(d2), float(q2))
+                tail = pol.tail_latency(
+                    percentile * 100.0, primary, reissue, t_hi=t_hi
+                )
+                if tail < best_tail:
+                    best_tail, best = tail, pol
+    assert best is not None
+    return AnalyticFit(
+        policy=best, tail=float(best_tail), percentile=percentile, budget=budget
+    )
+
+
+def multipler_budget(
+    stages: Sequence[tuple], primary: Distribution, reissue: Distribution
+) -> float:
+    """Expected reissue rate of a MultipleR policy (Eq. 15 generalized)."""
+    return MultipleR(stages).expected_budget(primary, reissue)
+
+
+def _check(percentile: float, budget: float) -> None:
+    if not 0.0 < percentile < 1.0:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")

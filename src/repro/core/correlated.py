@@ -1,0 +1,124 @@
+"""Correlation-aware SingleR parameter search (paper §4.2).
+
+Replaces the unconditional reissue CDF ``Pr(Y <= t - d)`` in the success
+rate with the conditional ``Pr(Y <= t - d | X > t)`` estimated from a log
+of (primary, reissue) response-time *pairs* via 2-D orthogonal range
+counting. Because the Figure-1 sweep queries ``t`` in non-increasing order,
+a Fenwick-backed dominance sweep answers each conditional query in
+O(log N), keeping the whole search at O(N log N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..structures.range2d import DominanceSweep, MergeSortTree
+from .optimizer import SingleRFit, discrete_cdf
+
+
+class ConditionalReissueCdf:
+    """Estimator of ``Pr(Y <= y | X > t)`` from paired samples.
+
+    Random-access variant built on a merge-sort tree; use
+    :class:`_SweepConditional` (internal) for the optimizer's monotone
+    access pattern.
+    """
+
+    def __init__(self, pair_x, pair_y):
+        self._tree = MergeSortTree(pair_x, pair_y)
+
+    def __call__(self, t: float, y: float) -> float:
+        above = self._tree.count_x_above(t)
+        if above == 0:
+            return 0.0
+        return self._tree.count_dominance(t, y) / above
+
+
+def compute_optimal_singler_correlated(
+    rx,
+    pair_x,
+    pair_y,
+    percentile: float,
+    budget: float,
+) -> SingleRFit:
+    """Fit the optimal SingleR policy accounting for X/Y correlation.
+
+    Parameters
+    ----------
+    rx:
+        Log of primary response times (all queries).
+    pair_x, pair_y:
+        Paired logs: for each query that issued a reissue, the primary
+        response time and the reissue response time (measured from the
+        reissue's own dispatch). Used to estimate the conditional CDF.
+    percentile, budget:
+        As in :func:`repro.core.optimizer.compute_optimal_singler`.
+
+    The search is the Figure-1 sweep with line 19's ``Pr(Y <= t-d)``
+    replaced by ``Pr(Y <= t-d | X > t)``.
+    """
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    pair_x = np.asarray(pair_x, dtype=np.float64)
+    pair_y = np.asarray(pair_y, dtype=np.float64)
+    if rx.size == 0:
+        raise ValueError("rx must be non-empty")
+    if pair_x.size == 0 or pair_x.shape != pair_y.shape:
+        raise ValueError("pair_x and pair_y must be non-empty and equal length")
+    if not 0.0 < percentile < 1.0:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+
+    sweep = DominanceSweep(pair_x, pair_y)
+
+    def success_rate(t: float, d: float) -> float:
+        p_x_le_t = discrete_cdf(rx, t)
+        p_x_gt_d = 1.0 - discrete_cdf(rx, d)
+        if p_x_gt_d <= 0.0:
+            return p_x_le_t
+        q = min(1.0, budget / p_x_gt_d)
+        above = sweep.count_x_above(t)
+        p_y_cond = sweep.count(t, t - d) / above if above else 0.0
+        return p_x_le_t + q * (1.0 - p_x_le_t) * p_y_cond
+
+    n = rx.size
+    i = 0
+    j = n - 1
+    d_star = rx[0]
+    t = rx[j]
+    # Eq. 5: only delays with Pr(X > d) >= B can spend the budget.
+    i_max = max(int(np.ceil(n * (1.0 - budget))) - 1, 0)
+
+    # As in the independent optimizer: commit a smaller t only after
+    # verifying feasibility at (t_next, d) — see the DESIGN.md note on the
+    # Figure 1 inner-loop discrepancy.
+    while i <= min(j, i_max):
+        d = rx[i]
+        i += 1
+        while j > 0 and rx[j - 1] >= d:
+            t_next = rx[j - 1]
+            if success_rate(t_next, d) < percentile:
+                break
+            j -= 1
+            t = t_next
+            d_star = d
+
+    p_x_ge_d = 1.0 - discrete_cdf(rx, d_star)
+    q = 1.0 if p_x_ge_d <= budget else budget / p_x_ge_d
+    # Final success evaluated with the random-access structure (the sweep
+    # has been consumed by the search).
+    cond = ConditionalReissueCdf(pair_x, pair_y)
+    p_x_le_t = discrete_cdf(rx, t)
+    success = p_x_le_t + min(1.0, budget / max(p_x_ge_d, 1e-300)) * (
+        1.0 - p_x_le_t
+    ) * cond(t, t - d_star)
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    return SingleRFit(
+        delay=float(d_star),
+        prob=float(q),
+        predicted_tail=float(t),
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )

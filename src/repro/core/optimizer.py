@@ -1,0 +1,233 @@
+"""Data-driven optimal SingleR parameter search (paper Figure 1, §4.1).
+
+``compute_optimal_singler`` fits the reissue delay ``d*`` and probability
+``q`` from two response-time logs: ``rx`` (primary requests) and ``ry``
+(reissue requests). It is a faithful implementation of the paper's
+``ComputeOptimalSingleR`` pseudocode with the amortized two-pointer sweep:
+``d`` ascends over the sorted log while the tail-latency candidate ``t``
+descends, so the whole search is O(N) after sorting.
+
+Known pseudocode discrepancy (documented in DESIGN.md): the paper's line 13
+returns ``q = 1 - DiscreteCDF(RX, d*)`` which is a survival probability,
+not the budget-consistent reissue probability. We return
+``q = min(1, B / Pr(X >= d*))`` per Eq. (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .policies import SingleD, SingleR
+
+
+@dataclass(frozen=True)
+class SingleRFit:
+    """Result of a SingleR parameter search.
+
+    Attributes
+    ----------
+    delay, prob:
+        The fitted policy parameters ``(d*, q)``.
+    predicted_tail:
+        The k-th percentile tail latency the fitted policy is predicted to
+        achieve on the supplied logs.
+    predicted_success:
+        ``Pr(Q <= predicted_tail)`` under the fitted policy.
+    baseline_tail:
+        The k-th percentile of the primary log with no reissue, for
+        reduction-ratio reporting.
+    budget:
+        The reissue budget the search was constrained to.
+    percentile:
+        The target percentile ``k`` (in [0, 1], e.g. 0.99).
+    """
+
+    delay: float
+    prob: float
+    predicted_tail: float
+    predicted_success: float
+    baseline_tail: float
+    budget: float
+    percentile: float
+
+    @property
+    def policy(self) -> SingleR:
+        return SingleR(self.delay, self.prob)
+
+    @property
+    def predicted_reduction_ratio(self) -> float:
+        """Baseline tail / predicted tail (>1 means improvement)."""
+        if self.predicted_tail <= 0.0:
+            return float("inf")
+        return self.baseline_tail / self.predicted_tail
+
+
+def discrete_cdf(sorted_samples: np.ndarray, t: float) -> float:
+    """``|{x in R : x < t}| / |R|`` — the paper's ``DiscreteCDF``."""
+    n = sorted_samples.size
+    if n == 0:
+        raise ValueError("empty sample set")
+    return float(np.searchsorted(sorted_samples, t, side="left")) / n
+
+
+def singler_success_rate(
+    rx_sorted: np.ndarray,
+    ry_sorted: np.ndarray,
+    budget: float,
+    t: float,
+    d: float,
+) -> float:
+    """``SingleRSuccessRate`` (Figure 1, lines 15-20) with ``q`` clamped to 1.
+
+    Returns the probability that a query completes before ``t`` under the
+    SingleR policy that reissues at ``d`` spending the full ``budget``.
+    """
+    p_x_le_t = discrete_cdf(rx_sorted, t)
+    p_x_gt_d = 1.0 - discrete_cdf(rx_sorted, d)
+    p_y = discrete_cdf(ry_sorted, t - d)
+    if p_x_gt_d <= 0.0:
+        return p_x_le_t
+    q = min(1.0, budget / p_x_gt_d)
+    return p_x_le_t + q * (1.0 - p_x_le_t) * p_y
+
+
+def compute_optimal_singler(
+    rx,
+    ry,
+    percentile: float,
+    budget: float,
+) -> SingleRFit:
+    """Fit the optimal SingleR policy from response-time logs.
+
+    Parameters
+    ----------
+    rx, ry:
+        Samples of primary and reissue response times. ``ry`` may equal
+        ``rx`` when reissue requests are served identically.
+    percentile:
+        Target percentile ``k`` as a fraction in (0, 1), e.g. ``0.99``.
+    budget:
+        Reissue budget ``B`` as a fraction in (0, 1].
+
+    Implements the Figure 1 search: maintain the invariant that the policy
+    reissuing at ``d*`` achieves a k-th percentile tail latency of at most
+    ``t``; sweep candidate reissue times ``d`` ascending and shrink ``t``
+    while the success rate stays above ``k``.
+    """
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    ry = np.sort(np.asarray(ry, dtype=np.float64))
+    if rx.size == 0 or ry.size == 0:
+        raise ValueError("rx and ry must be non-empty")
+    if not 0.0 < percentile < 1.0:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+
+    n = rx.size
+    i = 0  # index of the next candidate reissue time d (ascending)
+    j = n - 1  # index of the current tail-latency candidate t (descending)
+    d_star = rx[0]
+    t = rx[j]
+    # Candidate delays satisfy Pr(X > d) >= B (Eq. 5): reissuing later than
+    # the SingleD delay d' cannot spend the budget and is never optimal.
+    i_max = max(int(np.ceil(n * (1.0 - budget))) - 1, 0)
+
+    # Note a second pseudocode discrepancy (documented in DESIGN.md): the
+    # paper's inner loop decreases t *before* re-checking the success rate,
+    # so its internal t can finish infeasible (harmless there — Figure 1
+    # returns only (d*, q)). Since we also report the predicted tail, we
+    # only commit a smaller t after verifying alpha(t_next, d) >= k.
+    while i <= min(j, i_max):
+        d = rx[i]
+        i += 1
+        while j > 0 and rx[j - 1] >= d:
+            t_next = rx[j - 1]
+            if singler_success_rate(rx, ry, budget, t_next, d) < percentile:
+                break
+            j -= 1
+            t = t_next
+            d_star = d
+
+    p_x_ge_d = 1.0 - discrete_cdf(rx, d_star)
+    q = 1.0 if p_x_ge_d <= budget else budget / p_x_ge_d
+    success = singler_success_rate(rx, ry, budget, t, d_star)
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    return SingleRFit(
+        delay=float(d_star),
+        prob=float(q),
+        predicted_tail=float(t),
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )
+
+
+def compute_optimal_singled(
+    rx,
+    ry,
+    percentile: float,
+    budget: float,
+) -> SingleRFit:
+    """Data-driven fit of the best SingleD policy (the §2.2 baseline).
+
+    SingleD couples the delay to the budget: ``d`` is the smallest sample
+    with ``Pr(X >= d) <= B`` (reissuing any earlier would blow the budget).
+    The predicted tail latency is then the smallest ``t`` meeting the
+    percentile constraint with ``q = 1``.
+    """
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    ry = np.sort(np.asarray(ry, dtype=np.float64))
+    if rx.size == 0 or ry.size == 0:
+        raise ValueError("rx and ry must be non-empty")
+    if not 0.0 < percentile < 1.0:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+
+    n = rx.size
+    # Smallest d in the log with fraction of samples >= d at most B:
+    # survival(rx[idx]) = (n - idx) / n <= B  =>  idx >= n (1 - B).
+    idx = min(int(np.ceil(n * (1.0 - budget))), n - 1)
+    d = float(rx[idx])
+
+    # Smallest sample t >= d achieving the percentile with q = 1.
+    best_t = float(rx[-1])
+    for jj in range(n - 1, -1, -1):
+        t = float(rx[jj])
+        if t < d:
+            break
+        p_x_le_t = discrete_cdf(rx, t)
+        alpha = p_x_le_t + (1.0 - p_x_le_t) * discrete_cdf(ry, t - d)
+        if alpha >= percentile:
+            best_t = t
+        else:
+            break
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    # When the budget forces d beyond the baseline quantile, the reissue
+    # cannot influence the k-th percentile at all: the achievable tail is
+    # the baseline itself (§2.4's impossibility argument), not some t >= d.
+    best_t = min(best_t, baseline)
+    success = singler_success_rate(rx, ry, 1.0, best_t, d)
+    return SingleRFit(
+        delay=d,
+        prob=1.0,
+        predicted_tail=best_t,
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )
+
+
+def fit_singled_policy(rx, budget: float) -> SingleD:
+    """Pick the SingleD delay from a primary log for a budget (Eq. 2)."""
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    if rx.size == 0:
+        raise ValueError("rx must be non-empty")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+    idx = min(int(np.ceil(rx.size * (1.0 - budget))), rx.size - 1)
+    return SingleD(float(rx[idx]))

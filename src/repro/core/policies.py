@@ -1,0 +1,220 @@
+"""Reissue policy families (paper Sections 2 and 3).
+
+A policy is a sequence of *stages* ``(d_i, q_i)``: at time ``d_i`` after the
+primary dispatch, if the query has not yet received any response, a reissue
+request is sent with probability ``q_i``. The families:
+
+* :class:`NoReissue` — zero stages (the baseline).
+* :class:`ImmediateReissue` — ``n`` copies at ``d = 0`` with ``q = 1``.
+* :class:`SingleD` — one stage, deterministic (``q = 1``): "Tail at Scale".
+* :class:`SingleR` — one stage ``(d, q)``: the paper's contribution.
+* :class:`DoubleR` / :class:`MultipleR` — two / many stages, used in the
+  Theorem 3.1 / 3.2 optimality comparisons.
+
+Each policy knows its analytic completion CDF and expected budget in the
+simplified independent model of Section 2.1, so the theory can be checked
+numerically against closed-form distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..distributions.base import Distribution, RngLike, as_rng
+
+
+class ReissuePolicy:
+    """Base class: an immutable sequence of (delay, probability) stages."""
+
+    def __init__(self, stages: Sequence[Tuple[float, float]]):
+        checked = []
+        last_d = -np.inf
+        for d, q in stages:
+            d, q = float(d), float(q)
+            if d < 0.0:
+                raise ValueError(f"reissue delay must be >= 0, got {d}")
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"reissue probability must be in [0, 1], got {q}")
+            if d < last_d:
+                raise ValueError("stage delays must be non-decreasing")
+            last_d = d
+            checked.append((d, q))
+        self._stages: Tuple[Tuple[float, float], ...] = tuple(checked)
+
+    @property
+    def stages(self) -> Tuple[Tuple[float, float], ...]:
+        return self._stages
+
+    @property
+    def n_stages(self) -> int:
+        return len(self._stages)
+
+    # -- simulation interface ---------------------------------------------
+    def draw_plan(self, rng: RngLike = None) -> Tuple[float, ...]:
+        """Sample the per-query reissue plan: delays whose coin succeeded.
+
+        The returned delays are *conditional* dispatch times — the simulator
+        sends the reissue at ``t0 + d`` only if the query is still
+        incomplete then (matching the client-side reissue thread in §6.1).
+        """
+        if not self._stages:
+            return ()
+        rng = as_rng(rng)
+        out = []
+        for d, q in self._stages:
+            if q >= 1.0 or rng.random() < q:
+                out.append(d)
+        return tuple(out)
+
+    def draw_plans(self, n: int, rng: RngLike = None) -> list:
+        """Vectorized: n per-query plans (list of tuples of delays)."""
+        rng = as_rng(rng)
+        if not self._stages:
+            return [()] * n
+        ds = np.array([d for d, _ in self._stages])
+        qs = np.array([q for _, q in self._stages])
+        coins = rng.random((n, len(ds))) < qs
+        return [tuple(ds[row]) for row in coins]
+
+    # -- analytic interface (independent model, Section 2.1) ---------------
+    def completion_cdf(self, t, primary: Distribution, reissue: Distribution):
+        """``Pr(Q <= t)`` under independence (Eqs. 1/3 and generalization).
+
+        A query misses deadline ``t`` iff the primary misses (``X > t``) and
+        every issued reissue ``i`` with ``d_i < t`` misses (``Y_i > t-d_i``):
+        ``Pr(Q > t) = Pr(X > t) * prod_i (1 - q_i Pr(Y <= t - d_i))``.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        miss = 1.0 - primary.cdf(t)
+        for d, q in self._stages:
+            miss = miss * (1.0 - q * reissue.cdf(np.maximum(t - d, 0.0)))
+        return 1.0 - miss
+
+    def expected_budget(self, primary: Distribution, reissue: Distribution) -> float:
+        """Expected reissues per query (Eqs. 2/4; Eq. 15 generalized).
+
+        Stage ``i`` fires iff its coin succeeds and the query is incomplete
+        at ``d_i``, i.e. the primary is outstanding and no earlier issued
+        reissue has responded.
+        """
+        total = 0.0
+        for i, (d_i, q_i) in enumerate(self._stages):
+            p_incomplete = 1.0 - float(primary.cdf(d_i))
+            for d_j, q_j in self._stages[:i]:
+                p_incomplete *= 1.0 - q_j * float(
+                    reissue.cdf(max(d_i - d_j, 0.0))
+                )
+            total += q_i * p_incomplete
+        return total
+
+    def tail_latency(
+        self,
+        k: float,
+        primary: Distribution,
+        reissue: Distribution,
+        t_hi: float | None = None,
+        tol: float = 1e-9,
+    ) -> float:
+        """Smallest ``t`` with ``completion_cdf(t) >= k/100`` (bisection)."""
+        if not 0.0 < k < 100.0:
+            raise ValueError("k must be in (0, 100)")
+        target = k / 100.0
+        lo = 0.0
+        if t_hi is None:
+            t_hi = max(float(primary.quantile(1.0 - 1e-9)), 1.0)
+        hi = float(t_hi)
+        if float(self.completion_cdf(hi, primary, reissue)) < target:
+            raise ValueError("t_hi too small to bracket the percentile")
+        while hi - lo > tol * max(hi, 1.0):
+            mid = 0.5 * (lo + hi)
+            if float(self.completion_cdf(mid, primary, reissue)) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ReissuePolicy) and self._stages == other._stages
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._stages)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"(d={d:g}, q={q:g})" for d, q in self._stages)
+        return f"{type(self).__name__}[{inner}]"
+
+
+class NoReissue(ReissuePolicy):
+    """Baseline: never reissue."""
+
+    def __init__(self):
+        super().__init__(())
+
+
+class ImmediateReissue(ReissuePolicy):
+    """Dispatch ``copies`` duplicates at t=0 (the low-utilization strategy)."""
+
+    def __init__(self, copies: int = 1):
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        super().__init__([(0.0, 1.0)] * int(copies))
+        self.copies = int(copies)
+
+
+class SingleD(ReissuePolicy):
+    """Delayed deterministic reissue after ``delay`` ("Tail at Scale")."""
+
+    def __init__(self, delay: float):
+        super().__init__([(float(delay), 1.0)])
+
+    @property
+    def delay(self) -> float:
+        return self._stages[0][0]
+
+    @classmethod
+    def for_budget(cls, primary: Distribution, budget: float) -> "SingleD":
+        """Pick ``d`` so that ``Pr(X > d) = budget`` (Eq. 2)."""
+        if not 0.0 < budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        return cls(float(primary.quantile(1.0 - budget)))
+
+
+class SingleR(ReissuePolicy):
+    """The paper's policy: reissue after ``delay`` with probability ``prob``."""
+
+    def __init__(self, delay: float, prob: float):
+        super().__init__([(float(delay), float(prob))])
+
+    @property
+    def delay(self) -> float:
+        return self._stages[0][0]
+
+    @property
+    def prob(self) -> float:
+        return self._stages[0][1]
+
+    def with_budget(self, primary: Distribution, budget: float) -> "SingleR":
+        """Re-derive ``q`` for this delay so that ``q*Pr(X > d) = budget``."""
+        surv = 1.0 - float(primary.cdf(self.delay))
+        q = 1.0 if surv <= budget else budget / surv
+        return SingleR(self.delay, q)
+
+
+class DoubleR(ReissuePolicy):
+    """Two-stage randomized policy (Theorem 3.1 comparison family)."""
+
+    def __init__(self, d1: float, q1: float, d2: float, q2: float):
+        super().__init__([(float(d1), float(q1)), (float(d2), float(q2))])
+
+
+class MultipleR(ReissuePolicy):
+    """n-stage randomized policy (Theorem 3.2 comparison family)."""
+
+    def __init__(self, stages: Sequence[Tuple[float, float]]):
+        if len(stages) == 0:
+            raise ValueError("MultipleR needs at least one stage")
+        super().__init__(stages)

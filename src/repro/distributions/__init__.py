@@ -1,0 +1,27 @@
+"""Service-time distributions for reissue-policy analysis and simulation."""
+
+from .base import Distribution, as_rng
+from .pareto import Pareto
+from .lognormal import LogNormal
+from .exponential import Exponential
+from .weibull import Weibull
+from .uniform import Uniform, Deterministic
+from .empirical import Empirical, tail_percentile
+from .mixture import Mixture
+from .correlated import LinearCorrelatedPair, empirical_correlation
+
+__all__ = [
+    "Distribution",
+    "as_rng",
+    "Pareto",
+    "LogNormal",
+    "Exponential",
+    "Weibull",
+    "Uniform",
+    "Deterministic",
+    "Empirical",
+    "tail_percentile",
+    "Mixture",
+    "LinearCorrelatedPair",
+    "empirical_correlation",
+]

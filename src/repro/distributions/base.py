@@ -1,0 +1,84 @@
+"""Service-time distribution protocol.
+
+Every workload in the paper is characterised by a service-time
+distribution (Pareto, LogNormal, Exponential, ...). Distributions here are
+*stateless parameter holders*: randomness always flows through an explicit
+``numpy.random.Generator`` so that simulations are reproducible and can be
+fanned out across processes with independent streams.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[np.random.Generator, int, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``rng`` (Generator, seed int, or None) to a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def validate_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def validate_nonnegative(name: str, value: float) -> float:
+    value = float(value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous distribution of service times.
+
+    Subclasses implement :meth:`sample` and, when a closed form exists,
+    :meth:`cdf`, :meth:`quantile` and :meth:`mean`. All array-returning
+    methods are vectorized over their inputs.
+    """
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` i.i.d. samples as a float64 array of shape ``(n,)``."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value (may be ``inf`` for heavy tails, e.g. Pareto a<=1)."""
+
+    def cdf(self, x) -> np.ndarray:
+        """``Pr(X <= x)`` elementwise; subclasses with closed forms override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form CDF"
+        )
+
+    def survival(self, x) -> np.ndarray:
+        """``Pr(X > x)`` elementwise."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, p) -> np.ndarray:
+        """Inverse CDF; subclasses with closed forms override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form quantile"
+        )
+
+    def percentile(self, k: float) -> float:
+        """The ``k``-th percentile, ``k`` in [0, 100]."""
+        if not 0.0 <= k <= 100.0:
+            raise ValueError(f"percentile k must be in [0, 100], got {k}")
+        return float(np.asarray(self.quantile(k / 100.0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,92 @@
+"""Empirical distribution backed by a sorted sample array.
+
+This is the distribution object behind the data-driven optimizer: response
+time *logs* become :class:`Empirical` instances whose CDF queries are
+``np.searchsorted`` on a pre-sorted view (O(log N) per query, zero copies
+after construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Distribution, RngLike, as_rng
+
+
+class Empirical(Distribution):
+    """Empirical distribution of a sample of response times.
+
+    The CDF convention matches ``DiscreteCDF`` in the paper's Figure 1:
+    ``cdf(t) = |{x in R : x < t}| / |R|`` (strictly-less-than). This matters
+    when response-time logs contain ties, which real (and simulated) logs
+    always do.
+    """
+
+    def __init__(self, samples):
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ValueError("samples must be a 1-D array")
+        if samples.size == 0:
+            raise ValueError("samples must be non-empty")
+        if np.any(~np.isfinite(samples)):
+            raise ValueError("samples must be finite")
+        self._sorted = np.sort(samples)
+        self._n = samples.size
+
+    @property
+    def sorted_samples(self) -> np.ndarray:
+        """Sorted sample array (a view; treat as read-only)."""
+        return self._sorted
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Bootstrap resample: n draws with replacement."""
+        rng = as_rng(rng)
+        idx = rng.integers(0, self._n, size=n)
+        return self._sorted[idx]
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def variance(self) -> float:
+        return float(self._sorted.var())
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self._sorted, x, side="left") / self._n
+
+    def quantile(self, p) -> np.ndarray:
+        """Smallest sample t such that ``cdf`` at-or-above ``p``.
+
+        Uses the order statistic ``x_(ceil(p*n))`` so that
+        ``Pr(X <= quantile(p)) >= p`` holds exactly in the empirical measure
+        (the "higher" interpolation rule, which is what a tail-latency SLA
+        means by "the 99th percentile").
+        """
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        idx = np.clip(np.ceil(p * self._n).astype(np.int64) - 1, 0, self._n - 1)
+        return self._sorted[idx]
+
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+
+def tail_percentile(samples, k: float) -> float:
+    """The k-th percentile of ``samples`` under the SLA ("higher") rule.
+
+    Convenience wrapper used throughout metrics code; equivalent to
+    ``Empirical(samples).percentile(k)`` without building the object.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= k <= 100.0:
+        raise ValueError(f"percentile k must be in [0, 100], got {k}")
+    return float(np.quantile(samples, k / 100.0, method="higher"))

@@ -1,0 +1,35 @@
+"""Exponential service-time distribution (Fig. 6 uses Exp(0.1))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Distribution, RngLike, as_rng, validate_positive
+
+
+class Exponential(Distribution):
+    """Exponential with rate ``lam`` (mean ``1/lam``)."""
+
+    def __init__(self, rate: float = 0.1):
+        self.rate = validate_positive("rate", rate)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        return rng.exponential(1.0 / self.rate, size=n)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / self.rate**2
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, -np.expm1(-self.rate * np.maximum(x, 0.0)), 0.0)
+
+    def quantile(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return -np.log1p(-p) / self.rate

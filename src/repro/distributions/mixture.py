@@ -1,0 +1,57 @@
+"""Finite mixture distribution.
+
+Used to synthesize the Lucene search service-time profile (a well-behaved
+body plus a ~1% slow-query component) and as a general modelling tool for
+"queries of death" style workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Distribution, RngLike, as_rng
+
+
+class Mixture(Distribution):
+    """Mixture of component distributions with given weights."""
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have equal length")
+        if len(components) == 0:
+            raise ValueError("mixture needs at least one component")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0.0):
+            raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = w / total
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        counts = rng.multinomial(n, self.weights)
+        out = np.empty(n, dtype=np.float64)
+        pos = 0
+        for comp, c in zip(self.components, counts):
+            if c:
+                out[pos : pos + c] = comp.sample(int(c), rng)
+                pos += c
+        # Shuffle so component identity is not encoded in sample order.
+        rng.shuffle(out)
+        return out
+
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean() for w, c in zip(self.weights, self.components))
+        )
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        for w, c in zip(self.weights, self.components):
+            out += w * c.cdf(x)
+        return out

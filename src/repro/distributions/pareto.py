@@ -1,0 +1,55 @@
+"""Pareto (Type I) service-time distribution.
+
+The paper's simulated workloads (Section 5.1) draw service times from a
+Pareto distribution with shape 1.1 and mode (scale) 2.0 — an extremely
+heavy tail (infinite variance) that makes tail latency dominated by rare,
+very slow requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Distribution, RngLike, as_rng, validate_positive
+
+
+class Pareto(Distribution):
+    """Pareto Type I with shape ``alpha`` and scale (mode) ``xm``.
+
+    ``Pr(X > x) = (xm / x)^alpha`` for ``x >= xm``.
+    """
+
+    def __init__(self, shape: float = 1.1, mode: float = 2.0):
+        self.shape = validate_positive("shape", shape)
+        self.mode = validate_positive("mode", mode)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        # Inverse-CDF sampling: X = xm * U^(-1/alpha).
+        u = rng.random(n)
+        return self.mode * np.power(1.0 - u, -1.0 / self.shape)
+
+    def mean(self) -> float:
+        if self.shape <= 1.0:
+            return float("inf")
+        return self.shape * self.mode / (self.shape - 1.0)
+
+    def variance(self) -> float:
+        a = self.shape
+        if a <= 2.0:
+            return float("inf")
+        m = self.mode
+        return (m * m * a) / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        above = x >= self.mode
+        out[above] = 1.0 - np.power(self.mode / x[above], self.shape)
+        return out
+
+    def quantile(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        return self.mode * np.power(1.0 - p, -1.0 / self.shape)

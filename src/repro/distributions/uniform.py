@@ -1,0 +1,71 @@
+"""Uniform and deterministic (degenerate) service-time distributions.
+
+These are mostly useful as analytically transparent test fixtures: every
+optimizer invariant can be checked by hand against a Uniform(a, b) or a
+constant service time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Distribution, RngLike, as_rng, validate_nonnegative
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high)``."""
+
+    def __init__(self, low: float, high: float):
+        low, high = float(low), float(high)
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high})")
+        if low < 0:
+            raise ValueError("service times must be non-negative")
+        self.low = low
+        self.high = high
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip((x - self.low) / (self.high - self.low), 0.0, 1.0)
+
+    def quantile(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        return self.low + p * (self.high - self.low)
+
+
+class Deterministic(Distribution):
+    """Degenerate distribution: every request takes exactly ``value``."""
+
+    def __init__(self, value: float):
+        self.value = validate_nonnegative("value", value)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.float64)
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (x >= self.value).astype(np.float64)
+
+    def quantile(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        return np.full_like(p, self.value)

@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every driver exposes ``run(scale=..., seed=...) -> ExperimentResult`` and
+regenerates the corresponding paper figure as an ASCII chart plus CSV
+rows. The registry maps experiment ids (``fig2`` … ``fig9``) to drivers;
+the ``repro-experiment`` CLI and the benchmark harness both dispatch
+through it.
+
+Scales
+------
+``quick``
+    Minutes-of-CPU budget: fewer queries, seeds, and sweep points. Used
+    by the benchmark harness and CI.
+``full``
+    Paper-fidelity sweeps (40 000-query traces, more seeds and budgets).
+"""
+
+from .common import ExperimentResult, Scale, SCALES
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "SCALES",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,98 @@
+"""Figure 8: binary search for the optimal reissue budget (§4.4) on the
+Redis set-intersection workload at 20% utilization.
+
+Reproduces the two panels: trial budget per trial number (expanding /
+halving steps around the optimum) and trial P99 per trial number, with
+the running best marked.
+"""
+
+from __future__ import annotations
+
+from ..core.budget_search import find_optimal_budget
+from ..core.policies import NoReissue
+from ..distributions.base import as_rng
+from ..systems import RedisClusterSystem
+from ..viz.ascii_chart import line_chart
+from .common import (
+    ExperimentResult,
+    Scale,
+    fit_singler,
+    get_scale,
+    median_tail,
+)
+
+PERCENTILE = 0.99
+UTILIZATION = 0.2
+
+
+def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
+    scale = get_scale(scale)
+    system = RedisClusterSystem(
+        utilization=UTILIZATION, n_queries=scale.n_queries
+    )
+    base, _ = median_tail(system, NoReissue(), PERCENTILE, scale.eval_seeds)
+
+    def evaluate(budget: float) -> float:
+        if budget <= 0.0:
+            return base
+        policy = fit_singler(
+            system, PERCENTILE, budget, scale, rng=as_rng(seed)
+        )
+        tail, _ = median_tail(system, policy, PERCENTILE, scale.eval_seeds[:2])
+        return tail
+
+    search = find_optimal_budget(
+        evaluate,
+        initial_step=0.01,
+        max_trials=max(8, 2 * scale.adaptive_trials),
+        baseline_latency=base,
+    )
+
+    headers = ["trial", "budget", "p99", "accepted", "best_budget", "best_p99"]
+    rows: list[list] = []
+    best_b, best_l = 0.0, base
+    for t in search.trials:
+        if t.accepted:
+            best_b, best_l = t.budget, t.latency
+        rows.append([t.trial, t.budget, t.latency, t.accepted, best_b, best_l])
+
+    trials_idx = [float(t.trial) for t in search.trials]
+    chart = (
+        line_chart(
+            {
+                "trial budget": (trials_idx, [t.budget for t in search.trials]),
+                "best budget": (trials_idx, [r[4] for r in rows]),
+            },
+            title="Fig 8 (left): budget per trial",
+            x_label="trial",
+            y_label="budget",
+            height=12,
+        )
+        + "\n\n"
+        + line_chart(
+            {
+                "trial p99": (trials_idx, [t.latency for t in search.trials]),
+                "best p99": (trials_idx, [r[5] for r in rows]),
+            },
+            title="Fig 8 (right): P99 per trial",
+            x_label="trial",
+            y_label="P99",
+            height=12,
+        )
+    )
+    notes = [
+        f"baseline P99 at 20% util: {base:.0f}",
+        f"search settles at budget={search.best_budget:.3f} with "
+        f"P99={search.best_latency:.0f} "
+        f"({100 * (1 - search.best_latency / base):.0f}% below baseline); "
+        "paper finds ~8% optimal budget at 20% utilization",
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Binary search for the optimal reissue budget (Redis @ 20%)",
+        headers=headers,
+        rows=rows,
+        chart=chart,
+        notes=notes,
+        meta={"best_budget": search.best_budget},
+    )

@@ -1,0 +1,68 @@
+"""Figure 9: service-time distributions of the two system workloads.
+
+Histograms (20 ms bins, log count axis) of pure service times — no
+queueing — for the Redis set-intersection trace and the Lucene search
+trace, plus the moment/shape checks the paper reports in §6.2/§6.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems import LuceneClusterSystem, RedisClusterSystem
+from ..viz.ascii_chart import histogram_chart
+from .common import ExperimentResult, Scale, get_scale
+
+BIN_MS = 20.0
+
+
+def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
+    scale = get_scale(scale)
+    n = max(scale.n_queries, 40_000)  # moments need the full trace size
+    redis = RedisClusterSystem(utilization=0.4, n_queries=n)
+    lucene = LuceneClusterSystem(utilization=0.4, n_queries=n)
+    s_redis = redis.service_time_sample(n, rng=seed)
+    s_lucene = lucene.service_time_sample(n, rng=seed)
+
+    headers = ["system", "metric", "measured", "paper"]
+    rows = [
+        ["redis", "mean_ms", float(s_redis.mean()), 2.366],
+        ["redis", "std_ms", float(s_redis.std()), 8.64],
+        ["redis", "frac_below_10ms", float((s_redis < 10).mean()), 0.98],
+        ["redis", "count_above_150ms", int((s_redis > 150).sum()), 20],
+        ["lucene", "mean_ms", float(s_lucene.mean()), 39.73],
+        ["lucene", "std_ms", float(s_lucene.std()), 21.88],
+        [
+            "lucene",
+            "frac_1_to_70ms",
+            float(((s_lucene >= 1) & (s_lucene <= 70)).mean()),
+            0.90,
+        ],
+        ["lucene", "frac_above_100ms", float((s_lucene > 100).mean()), 0.01],
+    ]
+    chart = (
+        histogram_chart(
+            s_redis, BIN_MS, title="Fig 9 (Redis): service times, log counts",
+            x_label="service time (ms)",
+        )
+        + "\n\n"
+        + histogram_chart(
+            s_lucene, BIN_MS, title="Fig 9 (Lucene): service times, log counts",
+            x_label="service time (ms)",
+        )
+    )
+    notes = [
+        "redis head is ~2 decades taller than any tail bin; the >150 ms "
+        "bins are the pair-of-large-sets queries of death",
+        "lucene mass is concentrated in 1-70 ms with a short tail — the "
+        "mechanically different anatomy that makes its reissue gains "
+        "smaller than redis's",
+    ]
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Service-time distributions (Redis set-intersection, Lucene search)",
+        headers=headers,
+        rows=rows,
+        chart=chart,
+        notes=notes,
+    )

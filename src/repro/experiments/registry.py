@@ -1,0 +1,37 @@
+"""Experiment registry: id → driver, shared by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from .common import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a driver; raises with the list of valid ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"expected one of {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "standard", seed: int = 42, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(scale=scale, seed=seed, **kwargs)

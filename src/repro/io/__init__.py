@@ -1,0 +1,14 @@
+"""Response-time trace logs: the file format the optimizers consume.
+
+The paper's data-driven algorithms (§4) take *response-time logs* as
+input. This package defines a small, dependency-free on-disk format for
+them so policies can be fitted offline from production traces:
+
+* :func:`write_trace` / :func:`read_trace` — CSV with a typed header.
+* :class:`TraceLog` — the in-memory form: primary response times plus
+  optional (primary, reissue) pairs for the correlation-aware optimizer.
+"""
+
+from .tracelog import TraceLog, read_trace, write_trace
+
+__all__ = ["TraceLog", "read_trace", "write_trace"]

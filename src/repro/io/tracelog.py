@@ -1,0 +1,142 @@
+"""Reading and writing response-time trace logs.
+
+Format: a CSV file with a comment header identifying the schema version
+and three columns::
+
+    # repro-trace v1
+    kind,x,y
+    primary,12.25,
+    pair,180.62,14.75
+
+``primary`` rows carry one response time in ``x``. ``pair`` rows carry a
+correlated observation: the primary response time ``x`` of a query whose
+reissue responded in ``y`` (measured from the reissue's own dispatch) —
+the input to the §4.2 conditional-CDF estimator.
+
+The format is deliberately trivial: it round-trips through any spreadsheet
+or awk pipeline, and :func:`read_trace` is strict about malformed rows so
+silent truncation cannot skew a fitted policy.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.interfaces import RunResult
+
+_HEADER = "# repro-trace v1"
+_COLUMNS = "kind,x,y"
+
+
+@dataclass
+class TraceLog:
+    """An in-memory response-time log.
+
+    Attributes
+    ----------
+    primary:
+        Response times of primary requests (the ``RX`` log of Figure 1).
+    pair_x, pair_y:
+        Parallel arrays of correlated (primary, reissue) response times
+        for queries that dispatched a reissue. Empty when the trace was
+        collected without reissues.
+    """
+
+    primary: np.ndarray
+    pair_x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    pair_y: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self):
+        self.primary = np.asarray(self.primary, dtype=np.float64)
+        self.pair_x = np.asarray(self.pair_x, dtype=np.float64)
+        self.pair_y = np.asarray(self.pair_y, dtype=np.float64)
+        if self.pair_x.shape != self.pair_y.shape:
+            raise ValueError("pair_x and pair_y must have equal length")
+        if self.primary.ndim != 1 or self.pair_x.ndim != 1:
+            raise ValueError("trace arrays must be 1-D")
+        if self.primary.size and float(self.primary.min()) < 0.0:
+            raise ValueError("response times must be non-negative")
+
+    @property
+    def n_primary(self) -> int:
+        return int(self.primary.size)
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pair_x.size)
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "TraceLog":
+        """Capture a simulation/system run's logs as a trace."""
+        return cls(
+            primary=run.primary_response_times,
+            pair_x=run.reissue_pair_x,
+            pair_y=run.reissue_pair_y,
+        )
+
+    def reissue_log(self) -> np.ndarray:
+        """The ``RY`` log: observed reissue response times, falling back to
+        the primary log when no reissues were recorded (identical-service
+        assumption)."""
+        return self.pair_y if self.pair_y.size else self.primary
+
+
+def write_trace(path, trace: TraceLog) -> None:
+    """Write a trace log to ``path`` (atomic: temp file + rename)."""
+    path = Path(path)
+    buf = io.StringIO()
+    buf.write(_HEADER + "\n")
+    buf.write(_COLUMNS + "\n")
+    for x in trace.primary:
+        buf.write(f"primary,{float(x)!r},\n")
+    for x, y in zip(trace.pair_x, trace.pair_y):
+        buf.write(f"pair,{float(x)!r},{float(y)!r}\n")
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(buf.getvalue())
+    tmp.replace(path)
+
+
+def read_trace(path) -> TraceLog:
+    """Read a trace log written by :func:`write_trace`.
+
+    Raises ``ValueError`` on version mismatch or any malformed row; a
+    partially-written trace must never silently become a smaller trace.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise ValueError(f"{path}: missing '{_HEADER}' header")
+    if len(lines) < 2 or lines[1].strip() != _COLUMNS:
+        raise ValueError(f"{path}: missing '{_COLUMNS}' column row")
+    primary: list[float] = []
+    pair_x: list[float] = []
+    pair_y: list[float] = []
+    for lineno, line in enumerate(lines[2:], start=3):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 3:
+            raise ValueError(f"{path}:{lineno}: expected 3 fields, got {len(parts)}")
+        kind, xs, ys = parts
+        try:
+            if kind == "primary":
+                if ys != "":
+                    raise ValueError("primary rows must leave y empty")
+                primary.append(float(xs))
+            elif kind == "pair":
+                pair_x.append(float(xs))
+                pair_y.append(float(ys))
+            else:
+                raise ValueError(f"unknown row kind {kind!r}")
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return TraceLog(
+        primary=np.array(primary),
+        pair_x=np.array(pair_x),
+        pair_y=np.array(pair_y),
+    )

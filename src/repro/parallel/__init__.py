@@ -1,0 +1,12 @@
+"""Parallel experiment execution.
+
+Every figure in the paper is a parameter sweep (budgets × workloads ×
+utilizations), and every point is an independent simulation — an
+embarrassingly parallel workload. :mod:`repro.parallel.sweep` fans the
+points out over a process pool with deterministic per-point seeding so a
+parallel run is bit-identical to a serial one.
+"""
+
+from .sweep import SweepPoint, SweepResult, run_sweep, seed_for
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "seed_for"]

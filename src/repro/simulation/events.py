@@ -1,0 +1,49 @@
+"""Event priority queue for the discrete-event simulator.
+
+Events are plain tuples ``(time, seq, kind, payload)`` on a binary heap;
+``seq`` is a monotone tiebreaker so simultaneous events process in
+insertion order and runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, Tuple
+
+# Event kinds (small ints compare fast inside heap tuples).
+ARRIVAL = 0  # primary request arrives at the front door
+REISSUE_CHECK = 1  # client-side reissue timer fires
+DEPARTURE = 2  # a server finishes its in-service request
+
+Event = Tuple[float, int, int, Any]
+
+
+class EventQueue:
+    """Deterministic min-heap of simulation events."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: int, payload: Any) -> None:
+        if time < 0.0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in time order until empty (testing helper)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,89 @@
+"""Load-balancing strategies (paper §5.4, Fig. 5b).
+
+Balancers see per-server *backlog* (queue length plus in-service request)
+and pick the destination for each dispatched request — primaries and
+reissues alike, matching the paper's uniform-random default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions.base import RngLike, as_rng
+
+
+class LoadBalancer:
+    """Interface: choose a server index given current backlogs."""
+
+    def choose(self, backlogs: np.ndarray, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state between runs (round-robin pointer etc.)."""
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random server — the paper's default dispatch rule."""
+
+    def choose(self, backlogs: np.ndarray, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, backlogs.size))
+
+
+class JsqBalancer(LoadBalancer):
+    """Join-shortest-queue among ``d`` uniformly sampled servers.
+
+    ``d=2`` is the paper's "Min of Two" (power of two choices); ``d >=``
+    number of servers degenerates to "Min of All".
+    """
+
+    def __init__(self, d: int = 2):
+        if d < 1:
+            raise ValueError("d must be >= 1")
+        self.d = int(d)
+
+    def choose(self, backlogs: np.ndarray, rng: np.random.Generator) -> int:
+        n = backlogs.size
+        if self.d >= n:
+            return int(np.argmin(backlogs))
+        cand = rng.choice(n, size=self.d, replace=False)
+        return int(cand[np.argmin(backlogs[cand])])
+
+
+class MinOfAllBalancer(LoadBalancer):
+    """Join the globally shortest queue ("Min of All")."""
+
+    def choose(self, backlogs: np.ndarray, rng: np.random.Generator) -> int:
+        return int(np.argmin(backlogs))
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through servers; ignores backlog."""
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, backlogs: np.ndarray, rng: np.random.Generator) -> int:
+        idx = self._next % backlogs.size
+        self._next += 1
+        return idx
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+BALANCERS = {
+    "random": RandomBalancer,
+    "min-of-2": lambda: JsqBalancer(2),
+    "min-of-all": MinOfAllBalancer,
+    "round-robin": RoundRobinBalancer,
+}
+
+
+def make_balancer(name: str) -> LoadBalancer:
+    """Factory by name; raises KeyError listing valid names."""
+    try:
+        return BALANCERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown balancer {name!r}; expected one of {sorted(BALANCERS)}"
+        ) from None

@@ -1,0 +1,105 @@
+"""Server queue disciplines (paper §5.4, Fig. 5c).
+
+* :class:`FifoQueue` — "Baseline FIFO": one queue, no distinction between
+  primary and reissue requests.
+* :class:`PrioritizedFifoQueue` — separate queues; reissues served only
+  when no primary is waiting, in FIFO order.
+* :class:`PrioritizedLifoQueue` — same, but the reissue queue pops LIFO
+  (the freshest reissue has the best chance of beating the deadline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class QueueDiscipline:
+    """Interface: push requests, pop the next one to serve."""
+
+    def push(self, request) -> None:
+        raise NotImplementedError
+
+    def pop(self):
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoQueue(QueueDiscipline):
+    """Single FIFO queue for all requests."""
+
+    def __init__(self):
+        self._q: deque = deque()
+
+    def push(self, request) -> None:
+        self._q.append(request)
+
+    def pop(self) -> Optional[object]:
+        return self._q.popleft() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class PrioritizedFifoQueue(QueueDiscipline):
+    """Primary requests strictly before reissues; both FIFO internally.
+
+    Prevents a burst of reissued requests from delaying primaries
+    ("Prioritized FIFO" in Fig. 5c). Requests must expose ``is_reissue``.
+    """
+
+    def __init__(self):
+        self._primary: deque = deque()
+        self._reissue: deque = deque()
+
+    def push(self, request) -> None:
+        (self._reissue if request.is_reissue else self._primary).append(request)
+
+    def pop(self) -> Optional[object]:
+        if self._primary:
+            return self._primary.popleft()
+        if self._reissue:
+            return self._reissue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._primary) + len(self._reissue)
+
+
+class PrioritizedLifoQueue(PrioritizedFifoQueue):
+    """Like :class:`PrioritizedFifoQueue` but reissues pop LIFO."""
+
+    def pop(self) -> Optional[object]:
+        if self._primary:
+            return self._primary.popleft()
+        if self._reissue:
+            return self._reissue.pop()
+        return None
+
+
+DISCIPLINES = {
+    "fifo": FifoQueue,
+    "prioritized-fifo": PrioritizedFifoQueue,
+    "prioritized-lifo": PrioritizedLifoQueue,
+}
+
+
+def make_discipline(name) -> QueueDiscipline:
+    """Factory by name (or pass-through for callable factories).
+
+    Callables let substrates plug in parametrized disciplines (e.g. the
+    Redis round-robin-connection queue) without registering a name.
+    """
+    if callable(name):
+        return name()
+    try:
+        return DISCIPLINES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown discipline {name!r}; expected one of {sorted(DISCIPLINES)}"
+        ) from None

@@ -1,0 +1,66 @@
+"""A single-worker server with a pluggable queue discipline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .queues import QueueDiscipline
+
+
+@dataclass(slots=True)
+class Request:
+    """One dispatched request (a primary or a reissue copy).
+
+    ``row`` indexes the engine's reissue log for reissue copies (-1 for
+    primaries).
+    """
+
+    query_id: int
+    is_reissue: bool
+    service_time: float
+    dispatch_time: float
+    row: int = -1
+
+
+class Server:
+    """Serves one request at a time from its queue discipline.
+
+    The engine drives it with :meth:`enqueue` (returns the request to start
+    if the server was idle) and :meth:`finish` (returns the completed
+    request and the next to start, if any). ``busy_time`` accumulates total
+    service time for utilization accounting.
+    """
+
+    def __init__(self, server_id: int, discipline: QueueDiscipline):
+        self.server_id = server_id
+        self.queue = discipline
+        self.current: Request | None = None
+        self.busy_time = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    def backlog(self) -> int:
+        """Queued plus in-service requests (what balancers inspect)."""
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+    def enqueue(self, request: Request) -> Request | None:
+        """Accept a request; if idle, start it and return it."""
+        if self.current is None:
+            self.current = request
+            self.busy_time += request.service_time
+            return request
+        self.queue.push(request)
+        return None
+
+    def finish(self) -> tuple[Request, Request | None]:
+        """Complete the in-service request; start the next queued one."""
+        if self.current is None:
+            raise RuntimeError(f"server {self.server_id} finished while idle")
+        done = self.current
+        nxt = self.queue.pop()
+        self.current = nxt
+        if nxt is not None:
+            self.busy_time += nxt.service_time
+        return done, nxt

@@ -1,0 +1,17 @@
+"""Data structures: prefix counting, CDF cursors, range queries, sketches."""
+
+from .fenwick import FenwickTree
+from .ecdf import EmpiricalCdf, MonotoneCdfCursor
+from .range2d import MergeSortTree, DominanceSweep
+from .psquare import P2Quantile
+from .tdigest import TDigest
+
+__all__ = [
+    "FenwickTree",
+    "EmpiricalCdf",
+    "MonotoneCdfCursor",
+    "MergeSortTree",
+    "DominanceSweep",
+    "P2Quantile",
+    "TDigest",
+]

@@ -1,0 +1,96 @@
+"""Empirical CDF evaluation with amortized-O(1) monotone cursors.
+
+The paper's complexity argument for ``ComputeOptimalSingleR`` (Section 4.1)
+relies on the observation that during the optimizer's sweep the CDF is
+evaluated at arguments that move monotonically (``d`` ascends, ``t``
+descends, ``t - d`` descends), so a finger/search cursor over the sorted
+sample array answers each query in amortized O(1). :class:`MonotoneCdfCursor`
+is that structure; :class:`EmpiricalCdf` is the plain random-access variant
+built on ``np.searchsorted``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmpiricalCdf:
+    """Random-access empirical CDF over a sorted copy of ``samples``.
+
+    Uses the strict convention of the paper's ``DiscreteCDF``:
+    ``cdf(t) = |{x < t}| / N``.
+    """
+
+    def __init__(self, samples):
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("samples must be non-empty")
+        self.sorted = np.sort(samples)
+        self.n = samples.size
+
+    def count_below(self, t: float) -> int:
+        """Number of samples strictly less than ``t``."""
+        return int(np.searchsorted(self.sorted, t, side="left"))
+
+    def __call__(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.searchsorted(self.sorted, t, side="left") / self.n
+
+    def survival(self, t) -> np.ndarray:
+        return 1.0 - self(t)
+
+
+class MonotoneCdfCursor:
+    """Amortized-O(1) CDF evaluation for a monotone query sequence.
+
+    Construct with ``direction='up'`` when successive query points are
+    non-decreasing, ``'down'`` when non-increasing. Each call moves a finger
+    pointer over the sorted array; total movement over any query sequence is
+    at most N, so a full optimizer sweep costs O(N) rather than O(N log N).
+    """
+
+    def __init__(self, sorted_samples: np.ndarray, direction: str):
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        self._a = np.asarray(sorted_samples, dtype=np.float64)
+        if self._a.size == 0:
+            raise ValueError("samples must be non-empty")
+        self._n = self._a.size
+        self._dir = direction
+        # Finger = count of samples strictly below the last query point.
+        self._finger = 0 if direction == "up" else self._n
+        self._last = -np.inf if direction == "up" else np.inf
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def count_below(self, t: float) -> int:
+        """Number of samples strictly below ``t``; queries must be monotone."""
+        if self._dir == "up":
+            if t < self._last:
+                raise ValueError(
+                    f"non-monotone query: {t} after {self._last} (direction=up)"
+                )
+            a, n = self._a, self._n
+            f = self._finger
+            while f < n and a[f] < t:
+                f += 1
+        else:
+            if t > self._last:
+                raise ValueError(
+                    f"non-monotone query: {t} after {self._last} (direction=down)"
+                )
+            a = self._a
+            f = self._finger
+            while f > 0 and a[f - 1] >= t:
+                f -= 1
+        self._finger = f
+        self._last = t
+        return f
+
+    def cdf(self, t: float) -> float:
+        return self.count_below(t) / self._n
+
+    def survival(self, t: float) -> float:
+        return 1.0 - self.cdf(t)

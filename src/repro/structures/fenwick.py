@@ -1,0 +1,77 @@
+"""Fenwick (binary indexed) tree for prefix counting.
+
+Backbone of the correlation-aware optimizer's sweep (Section 4.2): as the
+tail-latency candidate ``t`` decreases, samples with primary time ``X > t``
+are inserted keyed by the rank of their reissue time, and the conditional
+count ``|{Y <= t - d, X > t}|`` is a prefix-sum query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``size`` integer-indexed slots (0-based API)."""
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        self._size = int(size)
+        self._tree = np.zeros(self._size + 1, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add ``delta`` at slot ``index`` (0-based)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        i = index + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of slots ``[0, count)``; ``count`` clamped to [0, size]."""
+        if count <= 0:
+            return 0
+        i = min(count, self._size)
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return int(total)
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo)
+
+    def total(self) -> int:
+        return self.prefix_sum(self._size)
+
+    def find_kth(self, k: int) -> int:
+        """Smallest index i such that prefix_sum(i + 1) >= k (1-based k).
+
+        Classic Fenwick binary lifting; O(log n). Raises if fewer than ``k``
+        items are present.
+        """
+        if k <= 0:
+            raise ValueError("k must be >= 1")
+        if k > self.total():
+            raise ValueError(f"tree holds {self.total()} < k={k} items")
+        pos = 0
+        remaining = k
+        bit = 1 << (self._size.bit_length())
+        tree = self._tree
+        while bit > 0:
+            nxt = pos + bit
+            if nxt <= self._size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return pos  # 0-based slot index

@@ -1,0 +1,92 @@
+"""P² (P-square) streaming quantile estimator.
+
+Jain & Chlamtac's constant-memory single-quantile estimator. Used for
+online tail-latency tracking inside long simulations where storing every
+response time would be wasteful, and in the adaptive controller's
+convergence monitor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class P2Quantile:
+    """Streaming estimate of the ``p``-quantile using 5 markers."""
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._init_buf: list[float] = []
+        self._q = np.zeros(5)  # marker heights
+        self._n = np.zeros(5)  # marker positions (1-based)
+        self._np = np.zeros(5)  # desired positions
+        self._dn = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        self._count += 1
+        if self._count <= 5:
+            self._init_buf.append(float(x))
+            if self._count == 5:
+                self._q[:] = np.sort(self._init_buf)
+                self._n[:] = np.arange(1, 6)
+                p = self.p
+                self._np[:] = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                               3.0 + 2.0 * p, 5.0]
+            return
+
+        q, n = self._q, self._n
+        # Locate cell and bump extreme markers.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = int(np.searchsorted(q, x, side="right")) - 1
+            k = min(max(k, 0), 3)
+        n[k + 1 :] += 1.0
+        self._np += self._dn
+
+        # Adjust interior markers via parabolic (P²) interpolation.
+        for i in range(1, 4):
+            d = self._np[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                s = 1.0 if d >= 1.0 else -1.0
+                cand = self._parabolic(i, s)
+                if q[i - 1] < cand < q[i + 1]:
+                    q[i] = cand
+                else:
+                    q[i] = self._linear(i, s)
+                n[i] += s
+
+    def _parabolic(self, i: int, s: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + s / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, s: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(s)
+        return q[i] + s * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self._count == 0:
+            raise ValueError("no observations")
+        if self._count <= 5:
+            buf = np.sort(self._init_buf)
+            idx = min(int(np.ceil(self.p * len(buf))) - 1, len(buf) - 1)
+            return float(buf[max(idx, 0)])
+        return float(self._q[2])

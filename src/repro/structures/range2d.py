@@ -1,0 +1,151 @@
+"""Static 2-D orthogonal range counting.
+
+Section 4.2 estimates the conditional CDF ``Pr(Y <= t - d | X > t)`` from a
+log of (primary, reissue) response-time pairs using an orthogonal range
+query structure. We provide a merge-sort-tree implementation: O(N log N)
+construction, O(log^2 N) per arbitrary query — plus a specialised sweep
+interface (:class:`DominanceSweep`) that exploits the optimizer's monotone
+query pattern to reach O(log N) amortized per step via a Fenwick tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fenwick import FenwickTree
+
+
+class MergeSortTree:
+    """Counts points with ``x in [x_lo, x_hi)`` and ``y < y_hi``.
+
+    A segment tree over points sorted by x; each node stores the sorted
+    y-values of its range. Queries binary-search the O(log N) covering
+    nodes.
+    """
+
+    def __init__(self, xs, ys):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be equal-length 1-D arrays")
+        if xs.size == 0:
+            raise ValueError("need at least one point")
+        order = np.argsort(xs, kind="stable")
+        self._x = xs[order]
+        self._y = ys[order]
+        self._n = xs.size
+        # Iterative bottom-up segment tree: size 2*m with m = next pow2 >= n.
+        m = 1
+        while m < self._n:
+            m <<= 1
+        self._m = m
+        self._nodes: list[np.ndarray] = [np.empty(0)] * (2 * m)
+        empty = np.empty(0, dtype=np.float64)
+        for i in range(self._n):
+            self._nodes[m + i] = self._y[i : i + 1]
+        for i in range(self._n, m):
+            self._nodes[m + i] = empty
+        for i in range(m - 1, 0, -1):
+            left, right = self._nodes[2 * i], self._nodes[2 * i + 1]
+            if left.size == 0:
+                self._nodes[i] = right
+            elif right.size == 0:
+                self._nodes[i] = left
+            else:
+                merged = np.concatenate([left, right])
+                merged.sort(kind="stable")
+                self._nodes[i] = merged
+
+    def __len__(self) -> int:
+        return self._n
+
+    def count_x_below(self, x_hi: float) -> int:
+        """Points with ``x < x_hi`` (1-D helper)."""
+        return int(np.searchsorted(self._x, x_hi, side="left"))
+
+    def count(self, x_lo_idx: int, x_hi_idx: int, y_hi: float) -> int:
+        """Points with x-rank in ``[x_lo_idx, x_hi_idx)`` and ``y < y_hi``."""
+        if x_hi_idx <= x_lo_idx:
+            return 0
+        lo = x_lo_idx + self._m
+        hi = x_hi_idx + self._m
+        total = 0
+        nodes = self._nodes
+        while lo < hi:
+            if lo & 1:
+                total += int(np.searchsorted(nodes[lo], y_hi, side="left"))
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                total += int(np.searchsorted(nodes[hi], y_hi, side="left"))
+            lo >>= 1
+            hi >>= 1
+        return total
+
+    def count_dominance(self, x_gt: float, y_lt: float) -> int:
+        """Points with ``x > x_gt`` and ``y < y_lt`` — the §4.2 query."""
+        # First x-rank strictly greater than x_gt:
+        lo = int(np.searchsorted(self._x, x_gt, side="right"))
+        return self.count(lo, self._n, y_lt)
+
+    def count_x_above(self, x_gt: float) -> int:
+        """Points with ``x > x_gt``."""
+        return self._n - int(np.searchsorted(self._x, x_gt, side="right"))
+
+
+class DominanceSweep:
+    """Amortized dominance counting for monotone (t, y) query sequences.
+
+    The optimizer queries ``|{X > t, Y < y}|`` with ``t`` non-increasing.
+    Points are pre-sorted by x descending; as ``t`` decreases, newly
+    qualifying points (``x > t``) are inserted into a Fenwick tree keyed by
+    y-rank, and each query is a prefix count. Total cost O(N log N) for any
+    sweep, O(log N) per query.
+    """
+
+    def __init__(self, xs, ys):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be equal-length 1-D arrays")
+        if xs.size == 0:
+            raise ValueError("need at least one point")
+        self._n = xs.size
+        desc = np.argsort(-xs, kind="stable")
+        self._x_desc = xs[desc]
+        # y-ranks against the sorted unique-ish y array (ties share ranks
+        # via searchsorted left on the full sorted array).
+        self._y_sorted = np.sort(ys)
+        self._y_rank_desc = np.searchsorted(self._y_sorted, ys[desc], side="left")
+        self._tree = FenwickTree(self._n)
+        self._inserted = 0
+        self._last_t = np.inf
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def count(self, t: float, y_lt: float) -> int:
+        """``|{X > t, Y < y_lt}|``; successive ``t`` must be non-increasing."""
+        if t > self._last_t:
+            raise ValueError(
+                f"non-monotone sweep: t={t} after t={self._last_t}"
+            )
+        self._last_t = t
+        while self._inserted < self._n and self._x_desc[self._inserted] > t:
+            self._tree.add(int(self._y_rank_desc[self._inserted]))
+            self._inserted += 1
+        y_hi_rank = int(np.searchsorted(self._y_sorted, y_lt, side="left"))
+        return self._tree.prefix_sum(y_hi_rank)
+
+    def count_x_above(self, t: float) -> int:
+        """``|{X > t}|`` at the current sweep position (also advances it)."""
+        if t > self._last_t:
+            raise ValueError(
+                f"non-monotone sweep: t={t} after t={self._last_t}"
+            )
+        self._last_t = t
+        while self._inserted < self._n and self._x_desc[self._inserted] > t:
+            self._tree.add(int(self._y_rank_desc[self._inserted]))
+            self._inserted += 1
+        return self._inserted

@@ -1,0 +1,11 @@
+"""Terminal rendering for experiment output.
+
+Every experiment driver prints its figure as an ASCII chart plus a CSV
+block, so results are inspectable over ssh and diffable in CI — no
+plotting dependency.
+"""
+
+from .ascii_chart import histogram_chart, line_chart, scatter_chart
+from .table import format_table
+
+__all__ = ["line_chart", "scatter_chart", "histogram_chart", "format_table"]

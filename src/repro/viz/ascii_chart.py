@@ -1,0 +1,172 @@
+"""ASCII charts: line series, scatter plots, and log-count histograms.
+
+These renderers target a fixed-width terminal grid. They are intentionally
+simple — nearest-cell rasterization, shared axes, one glyph per series —
+because their job is to make the *shape* of each reproduced figure visible
+in a text log, not to be publication graphics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Series glyphs, assigned in order of insertion.
+_GLYPHS = "*o+x#@%&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2g}"
+    return f"{v:.3g}"
+
+
+def _rasterize(
+    grid: list[list[str]],
+    xs: np.ndarray,
+    ys: np.ndarray,
+    glyph: str,
+    x_lo: float,
+    x_hi: float,
+    y_lo: float,
+    y_hi: float,
+    width: int,
+    height: int,
+) -> None:
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    for x, y in zip(xs, ys):
+        if not (math.isfinite(x) and math.isfinite(y)):
+            continue
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        if 0 <= col < width and 0 <= row < height:
+            grid[height - 1 - row][col] = glyph
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (xs, ys) series on shared axes.
+
+    Returns a multi-line string: title, y-range annotated frame, x-range
+    footer, and a legend mapping glyphs to series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to render")
+    all_x = np.concatenate(
+        [np.asarray(xs, dtype=np.float64) for xs, _ in series.values()]
+    )
+    all_y = np.concatenate(
+        [np.asarray(ys, dtype=np.float64) for _, ys in series.values()]
+    )
+    ok = np.isfinite(all_x) & np.isfinite(all_y)
+    if not ok.any():
+        raise ValueError("no finite data points")
+    x_lo, x_hi = float(all_x[ok].min()), float(all_x[ok].max())
+    y_lo, y_hi = float(all_y[ok].min()), float(all_y[ok].max())
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = _GLYPHS[i % len(_GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        _rasterize(
+            grid,
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+            glyph,
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+            width,
+            height,
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}: {_fmt(y_lo)} .. {_fmt(y_hi)}")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: {_fmt(x_lo)} .. {_fmt(x_hi)}")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    xs,
+    ys,
+    title: str = "",
+    width: int = 56,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    glyph: str = ".",
+) -> str:
+    """Render one point cloud (used for the Fig. 4 correlation plots)."""
+    return line_chart(
+        {"points": (xs, ys)},
+        title=title,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label=y_label,
+    ).replace("*", glyph)
+
+
+def histogram_chart(
+    values,
+    bin_width: float,
+    title: str = "",
+    max_bar: int = 48,
+    log_counts: bool = True,
+    x_label: str = "value",
+    max_bins: int = 40,
+) -> str:
+    """Render a binned histogram with horizontal bars.
+
+    ``log_counts=True`` scales bar length by ``log2(1 + count)`` — the
+    paper's Fig. 9 uses a log count axis so the rare tail bins remain
+    visible next to 10^4-sized head bins.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be > 0")
+    hi = float(values.max())
+    n_bins = int(hi // bin_width) + 1
+    clipped = False
+    if n_bins > max_bins:
+        n_bins = max_bins
+        clipped = True
+    edges = np.arange(0, (n_bins + 1) * bin_width, bin_width)
+    counts, _ = np.histogram(np.minimum(values, edges[-1] - 1e-12), bins=edges)
+    scale = np.log2(1 + counts) if log_counts else counts.astype(float)
+    top = scale.max() or 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label} (bin={_fmt(bin_width)})   count")
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(scale[i] / top * max_bar))
+        label = f"[{_fmt(edges[i])},{_fmt(edges[i + 1])})"
+        tail = "+" if clipped and i == n_bins - 1 else " "
+        lines.append(f"{label:>18}{tail}|{bar:<{max_bar}}| {int(c)}")
+    return "\n".join(lines)

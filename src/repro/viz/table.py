@@ -1,0 +1,48 @@
+"""Aligned text tables and CSV blocks for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 10000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows with right-aligned numeric-friendly columns."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[_cell(v) for v in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A plain CSV block (for piping experiment output into other tools)."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("every row must match the header width")
+    lines = [",".join(headers)]
+    for r in rows:
+        lines.append(",".join(_cell(v) for v in r))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests share the seed for reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic generators."""
+
+    def make(seed: int = 0):
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,115 @@
+"""Tests for the correlation-aware optimizer (paper §4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlated import (
+    ConditionalReissueCdf,
+    compute_optimal_singler_correlated,
+)
+from repro.core.optimizer import compute_optimal_singler
+
+
+def correlated_pairs(n=3000, r=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.pareto(1.1, n) * 2.0 + 2.0
+    z = rng.pareto(1.1, n) * 2.0 + 2.0
+    return x, r * x + z
+
+
+class TestConditionalCdf:
+    def test_matches_naive_count(self):
+        x, y = correlated_pairs(500)
+        cond = ConditionalReissueCdf(x, y)
+        for t, yy in [(5.0, 3.0), (10.0, 8.0), (2.0, 50.0)]:
+            above = x > t
+            if above.sum() == 0:
+                expected = 0.0
+            else:
+                expected = float((y[above] <= yy).sum() / above.sum())
+            assert cond(t, yy) == pytest.approx(expected)
+
+    def test_no_mass_above_t(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([1.0, 2.0])
+        cond = ConditionalReissueCdf(x, y)
+        assert cond(5.0, 100.0) == 0.0
+
+    def test_positive_correlation_lowers_conditional(self):
+        # Under positive correlation, conditioning on a slow primary makes
+        # a fast reissue less likely than unconditionally.
+        x, y = correlated_pairs(20_000, r=1.0, seed=2)
+        cond = ConditionalReissueCdf(x, y)
+        t = float(np.quantile(x, 0.95))
+        yy = float(np.quantile(y, 0.5))
+        unconditional = float((y <= yy).mean())
+        assert cond(t, yy) < unconditional
+
+
+class TestCorrelatedFit:
+    def test_feasible_and_on_budget(self):
+        x, y = correlated_pairs()
+        fit = compute_optimal_singler_correlated(x, x, y, 0.95, 0.1)
+        assert 0.0 <= fit.prob <= 1.0
+        surv = float((x >= fit.delay).mean())
+        assert fit.prob * surv <= 0.1 + 1 / x.size + 1e-9
+        assert fit.predicted_tail <= fit.baseline_tail + 1e-9
+
+    def test_independent_pairs_agree_with_independent_optimizer(self):
+        # With r=0 the conditional CDF estimator should land near the
+        # unconditional fit.
+        rng = np.random.default_rng(5)
+        x = rng.lognormal(1.0, 1.0, 8000)
+        y = rng.lognormal(1.0, 1.0, 8000)
+        fit_c = compute_optimal_singler_correlated(x, x, y, 0.95, 0.15)
+        fit_i = compute_optimal_singler(x, y, 0.95, 0.15)
+        assert fit_c.predicted_tail == pytest.approx(
+            fit_i.predicted_tail, rel=0.15
+        )
+
+    def test_correlation_makes_optimizer_reissue_earlier(self):
+        # §5.3: under service-time correlation the optimal SingleR reissues
+        # earlier (larger outstanding fraction) with smaller q.
+        x_i, y_i = correlated_pairs(20_000, r=0.0, seed=3)
+        x_c, y_c = correlated_pairs(20_000, r=0.9, seed=3)
+        fit_i = compute_optimal_singler_correlated(x_i, x_i, y_i, 0.95, 0.1)
+        fit_c = compute_optimal_singler_correlated(x_c, x_c, y_c, 0.95, 0.1)
+        out_i = float((x_i > fit_i.delay).mean())
+        out_c = float((x_c > fit_c.delay).mean())
+        assert out_c >= out_i
+        assert fit_c.prob <= fit_i.prob + 1e-9
+
+    def test_correlated_fit_predicts_no_better_than_independent_assumption(self):
+        # Ignoring positive correlation overestimates reissue value: the
+        # correlation-aware predicted tail must be >= the naive one.
+        x, y = correlated_pairs(10_000, r=0.8, seed=4)
+        naive = compute_optimal_singler(x, y, 0.95, 0.1)
+        aware = compute_optimal_singler_correlated(x, x, y, 0.95, 0.1)
+        assert aware.predicted_tail >= naive.predicted_tail - 1e-9
+
+    def test_validation(self):
+        x, y = correlated_pairs(100)
+        with pytest.raises(ValueError):
+            compute_optimal_singler_correlated([], x, y, 0.9, 0.1)
+        with pytest.raises(ValueError):
+            compute_optimal_singler_correlated(x, x[:10], y[:5], 0.9, 0.1)
+        with pytest.raises(ValueError):
+            compute_optimal_singler_correlated(x, x, y, 1.5, 0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    r=st.floats(0.0, 1.0),
+    budget=st.floats(0.05, 0.5),
+)
+def test_property_correlated_fit_invariants(seed, r, budget):
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(0.5, 1.0, 500)
+    y = r * x + rng.lognormal(0.5, 1.0, 500)
+    fit = compute_optimal_singler_correlated(x, x, y, 0.9, budget)
+    assert 0.0 <= fit.prob <= 1.0
+    assert fit.predicted_tail <= fit.baseline_tail + 1e-9
+    assert 0.0 <= fit.predicted_success <= 1.0

@@ -1,0 +1,186 @@
+"""Tests for on-line adaptation under time-varying load (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import (
+    DriftDetector,
+    OnlinePolicyController,
+    SlidingWindowLog,
+)
+
+
+def lognormal_batch(rng, n=1000, mu=1.0, sigma=1.0):
+    return rng.lognormal(mu, sigma, n)
+
+
+class TestSlidingWindowLog:
+    def test_append_and_len(self):
+        log = SlidingWindowLog(capacity=1000)
+        log.extend([1.0, 2.0, 3.0])
+        assert len(log) == 3 and log.total_seen == 3
+
+    def test_capacity_evicts_oldest(self):
+        log = SlidingWindowLog(capacity=100)
+        log.extend(np.arange(150, dtype=float))
+        assert len(log) == 100
+        assert log.primary()[0] == 50.0  # oldest 50 evicted
+        assert log.total_seen == 150
+
+    def test_pairs_tracked(self):
+        log = SlidingWindowLog(capacity=1000)
+        log.extend([1.0], pair_x=[5.0, 6.0], pair_y=[1.0, 2.0])
+        px, py = log.pairs()
+        assert log.n_pairs == 2
+        assert np.array_equal(px, [5.0, 6.0])
+
+    def test_pair_length_mismatch(self):
+        log = SlidingWindowLog(capacity=1000)
+        with pytest.raises(ValueError):
+            log.extend([1.0], pair_x=[1.0], pair_y=[1.0, 2.0])
+
+    def test_negative_rejected(self):
+        log = SlidingWindowLog(capacity=1000)
+        with pytest.raises(ValueError):
+            log.extend([-1.0])
+
+    def test_percentile(self):
+        log = SlidingWindowLog(capacity=1000)
+        log.extend(np.arange(1, 101, dtype=float))
+        assert log.percentile(0.95) == 96.0
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError):
+            SlidingWindowLog(capacity=1000).percentile(0.5)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowLog(capacity=10)
+
+
+class TestDriftDetector:
+    def test_no_drift_same_distribution(self):
+        rng = np.random.default_rng(0)
+        det = DriftDetector(threshold=0.12)
+        assert not det.update(lognormal_batch(rng))
+        for _ in range(5):
+            assert not det.update(lognormal_batch(rng))
+
+    def test_detects_scale_shift(self):
+        rng = np.random.default_rng(1)
+        det = DriftDetector(threshold=0.12)
+        det.update(lognormal_batch(rng))
+        shifted = lognormal_batch(rng) * 2.0
+        assert det.update(shifted)
+        assert det.last_statistic > 0.12
+
+    def test_reanchors_after_drift(self):
+        rng = np.random.default_rng(2)
+        det = DriftDetector(threshold=0.12)
+        det.update(lognormal_batch(rng))
+        det.update(lognormal_batch(rng) * 3.0)  # drift, re-anchor
+        # subsequent batches from the *new* regime are not drift
+        assert not det.update(lognormal_batch(rng) * 3.0)
+
+    def test_small_samples_ignored(self):
+        det = DriftDetector(min_samples=500)
+        assert not det.update(np.ones(50))
+        assert not det.update(np.ones(50) * 100)
+
+    def test_reset(self):
+        rng = np.random.default_rng(3)
+        det = DriftDetector()
+        det.update(lognormal_batch(rng))
+        det.reset()
+        assert not det.update(lognormal_batch(rng) * 10)  # becomes reference
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+
+
+class TestOnlineController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlinePolicyController(percentile=0.0, budget=0.1)
+        with pytest.raises(ValueError):
+            OnlinePolicyController(percentile=0.95, budget=0.1, refit_interval=10)
+
+    def test_starts_with_immediate_policy(self):
+        c = OnlinePolicyController(percentile=0.95, budget=0.1)
+        assert c.policy.delay == 0.0 and c.policy.prob == 0.1
+
+    def test_batch_refit_after_interval(self):
+        rng = np.random.default_rng(4)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=2000
+        )
+        c.observe(lognormal_batch(rng, 1500))
+        assert c.n_refits == 0
+        c.observe(lognormal_batch(rng, 1500))
+        assert c.n_refits == 1
+        assert c.events[0].reason == "batch"
+        assert c.policy.delay > 0.0
+
+    def test_budget_respected_in_fit(self):
+        rng = np.random.default_rng(5)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=1000
+        )
+        for _ in range(4):
+            c.observe(lognormal_batch(rng, 1000))
+        rx = c.log.primary()
+        surv = float((rx >= c.policy.delay).mean())
+        assert c.policy.prob * surv <= 0.1 * 1.1 + 1 / rx.size
+
+    def test_drift_triggers_undamped_refit(self):
+        rng = np.random.default_rng(6)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=100_000,
+            learning_rate=0.1,
+        )
+        for _ in range(3):
+            c.observe(lognormal_batch(rng, 1000))
+        # 4x latency regression: drift fires long before the interval.
+        c.observe(lognormal_batch(rng, 1000) * 4.0)
+        drift_events = [e for e in c.events if e.reason == "drift"]
+        assert drift_events, "drift refit did not fire"
+        # Undamped: the new delay lands on the fit, not 10% toward it.
+        assert c.policy.delay == pytest.approx(drift_events[-1].fit.delay)
+
+    def test_damped_refit_moves_partially(self):
+        rng = np.random.default_rng(7)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=1000,
+            learning_rate=0.5, drift_threshold=0.9,
+        )
+        c.observe(lognormal_batch(rng, 1000))
+        first_delay = c.policy.delay
+        fit_delay = c.events[-1].fit.delay
+        assert first_delay == pytest.approx(0.5 * fit_delay)
+
+    def test_correlated_pairs_used_when_available(self):
+        rng = np.random.default_rng(8)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=1000,
+            min_pairs_for_correlation=50,
+        )
+        x = lognormal_batch(rng, 1000)
+        px = x[:100]
+        py = 0.8 * px + rng.lognormal(1.0, 1.0, 100)
+        c.observe(x, pair_x=px, pair_y=py)
+        assert c.n_refits == 1  # fit succeeded via the correlated path
+
+    def test_tracks_shifting_distribution(self):
+        """End-to-end drift scenario: the recommended delay follows a
+        latency regime change within a few batches."""
+        rng = np.random.default_rng(9)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.1, refit_interval=2000,
+        )
+        for _ in range(3):
+            c.observe(lognormal_batch(rng, 1000, mu=1.0))
+        delay_before = c.policy.delay
+        for _ in range(6):
+            c.observe(lognormal_batch(rng, 1000, mu=2.0))  # e^1 ~ 2.7x slower
+        assert c.policy.delay > delay_before * 1.5

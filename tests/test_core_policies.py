@@ -1,0 +1,205 @@
+"""Unit tests for the reissue policy families (paper §2-§3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    DoubleR,
+    ImmediateReissue,
+    MultipleR,
+    NoReissue,
+    ReissuePolicy,
+    SingleD,
+    SingleR,
+)
+from repro.distributions import Exponential, LogNormal, Pareto
+
+
+class TestConstruction:
+    def test_no_reissue_has_no_stages(self):
+        assert NoReissue().n_stages == 0
+
+    def test_singler_stores_parameters(self):
+        p = SingleR(3.5, 0.25)
+        assert p.delay == 3.5
+        assert p.prob == 0.25
+        assert p.stages == ((3.5, 0.25),)
+
+    def test_singled_is_singler_with_q1(self):
+        assert SingleD(2.0).stages == ((2.0, 1.0),)
+
+    def test_immediate_multiplies_copies(self):
+        p = ImmediateReissue(copies=3)
+        assert p.stages == ((0.0, 1.0),) * 3
+
+    def test_immediate_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            ImmediateReissue(copies=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            SingleR(-1.0, 0.5)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.5])
+    def test_probability_out_of_range_rejected(self, q):
+        with pytest.raises(ValueError, match="probability"):
+            SingleR(1.0, q)
+
+    def test_stage_delays_must_be_sorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MultipleR([(5.0, 0.5), (2.0, 0.5)])
+
+    def test_multipler_needs_a_stage(self):
+        with pytest.raises(ValueError):
+            MultipleR([])
+
+    def test_equality_and_hash_by_stages(self):
+        assert SingleR(1.0, 0.5) == MultipleR([(1.0, 0.5)])
+        assert hash(SingleR(1.0, 0.5)) == hash(MultipleR([(1.0, 0.5)]))
+        assert SingleR(1.0, 0.5) != SingleR(1.0, 0.6)
+
+    def test_repr_mentions_parameters(self):
+        assert "d=2" in repr(SingleD(2.0))
+
+
+class TestDrawPlan:
+    def test_no_reissue_draws_empty(self):
+        assert NoReissue().draw_plan(np.random.default_rng(0)) == ()
+
+    def test_deterministic_policy_always_fires(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert SingleD(4.0).draw_plan(rng) == (4.0,)
+
+    def test_q_zero_never_fires(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert SingleR(4.0, 0.0).draw_plan(rng) == ()
+
+    def test_draw_plans_matches_probability(self):
+        rng = np.random.default_rng(1)
+        plans = SingleR(2.0, 0.3).draw_plans(20_000, rng)
+        rate = sum(len(p) for p in plans) / 20_000
+        assert rate == pytest.approx(0.3, abs=0.02)
+
+    def test_draw_plans_empty_policy(self):
+        assert SingleR(1.0, 1.0).draw_plans(0) == []
+        assert NoReissue().draw_plans(5) == [()] * 5
+
+    def test_multi_stage_plans_are_subsets_of_delays(self):
+        rng = np.random.default_rng(2)
+        pol = MultipleR([(1.0, 0.5), (3.0, 0.5)])
+        for plan in pol.draw_plans(100, rng):
+            assert set(plan) <= {1.0, 3.0}
+
+
+class TestAnalyticModel:
+    """Equations 1-4 against closed-form distributions."""
+
+    def test_eq1_singled_completion(self):
+        X = Exponential(1.0)
+        t, d = 2.0, 0.5
+        expected = X.cdf(t) + (1 - X.cdf(t)) * X.cdf(t - d)
+        got = SingleD(d).completion_cdf(t, X, X)
+        assert got == pytest.approx(expected)
+
+    def test_eq3_singler_completion(self):
+        X = Exponential(1.0)
+        t, d, q = 2.0, 0.5, 0.3
+        expected = X.cdf(t) + q * (1 - X.cdf(t)) * X.cdf(t - d)
+        got = SingleR(d, q).completion_cdf(t, X, X)
+        assert got == pytest.approx(expected)
+
+    def test_eq2_eq4_budgets(self):
+        X = Exponential(1.0)
+        d = 0.7
+        assert SingleD(d).expected_budget(X, X) == pytest.approx(1 - X.cdf(d))
+        assert SingleR(d, 0.4).expected_budget(X, X) == pytest.approx(
+            0.4 * (1 - X.cdf(d))
+        )
+
+    def test_no_reissue_budget_zero(self):
+        assert NoReissue().expected_budget(Exponential(1.0), Exponential(1.0)) == 0.0
+
+    def test_completion_cdf_monotone_in_t(self):
+        X = Pareto(1.1, 2.0)
+        pol = SingleR(3.0, 0.5)
+        ts = np.linspace(0.1, 50, 100)
+        cdf = pol.completion_cdf(ts, X, X)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_reissue_before_t_helps(self):
+        X = LogNormal(1.0, 1.0)
+        t = float(X.quantile(0.95))
+        base = NoReissue().completion_cdf(t, X, X)
+        helped = SingleR(1.0, 0.5).completion_cdf(t, X, X)
+        assert helped > base
+
+    def test_multi_stage_budget_accounts_for_earlier_reissues(self):
+        # With a certain, instant first reissue, a second stage fires only
+        # if both the primary AND the first reissue are still outstanding.
+        X = Exponential(1.0)
+        pol = MultipleR([(0.0, 1.0), (1.0, 1.0)])
+        expected = 1.0 + (1 - X.cdf(1.0)) * (1 - X.cdf(1.0))
+        assert pol.expected_budget(X, X) == pytest.approx(expected)
+
+    def test_tail_latency_inverts_completion(self):
+        X = Exponential(0.5)
+        pol = SingleR(1.0, 0.5)
+        t95 = pol.tail_latency(95.0, X, X)
+        assert pol.completion_cdf(t95, X, X) == pytest.approx(0.95, abs=1e-6)
+
+    def test_tail_latency_validates_k(self):
+        with pytest.raises(ValueError):
+            SingleD(1.0).tail_latency(0.0, Exponential(1.0), Exponential(1.0))
+
+    def test_immediate_reissue_beats_delayed_with_q1(self):
+        X = Pareto(1.1, 2.0)
+        t_imm = ImmediateReissue().tail_latency(99.0, X, X)
+        t_del = SingleD(5.0).tail_latency(99.0, X, X)
+        assert t_imm <= t_del
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.floats(0.0, 10.0),
+    q=st.floats(0.0, 1.0),
+    t=st.floats(0.1, 30.0),
+)
+def test_property_singler_completion_is_probability(d, q, t):
+    X = Exponential(0.8)
+    v = float(SingleR(d, q).completion_cdf(t, X, X))
+    assert 0.0 <= v <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.floats(0.0, 10.0),
+    q1=st.floats(0.0, 1.0),
+    q2=st.floats(0.0, 1.0),
+    t=st.floats(0.1, 30.0),
+)
+def test_property_higher_q_never_hurts(d, q1, q2, t):
+    X = Exponential(0.8)
+    lo, hi = sorted([q1, q2])
+    assert float(SingleR(d, hi).completion_cdf(t, X, X)) >= float(
+        SingleR(d, lo).completion_cdf(t, X, X)
+    ) - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stages=st.lists(
+        st.tuples(st.floats(0.0, 5.0), st.floats(0.0, 1.0)),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_budget_bounded_by_stage_count(stages):
+    stages = sorted(stages, key=lambda s: s[0])
+    X = Exponential(1.0)
+    pol = ReissuePolicy(stages)
+    b = pol.expected_budget(X, X)
+    assert -1e-12 <= b <= len(stages) + 1e-12

@@ -1,0 +1,66 @@
+"""Tests for the Empirical distribution and percentile conventions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical, tail_percentile
+
+
+class TestEmpirical:
+    def test_strict_cdf_convention(self):
+        # DiscreteCDF counts samples strictly below t (paper Fig. 1).
+        e = Empirical([1.0, 2.0, 2.0, 3.0])
+        assert float(e.cdf(2.0)) == pytest.approx(0.25)
+        assert float(e.cdf(2.0001)) == pytest.approx(0.75)
+        assert float(e.cdf(0.0)) == 0.0
+        assert float(e.cdf(100.0)) == 1.0
+
+    def test_quantile_higher_rule(self):
+        e = Empirical(np.arange(1, 101, dtype=float))  # 1..100
+        assert float(e.quantile(0.99)) == 99.0
+        assert float(e.quantile(1.0)) == 100.0
+        assert float(e.quantile(0.0)) == 1.0
+
+    def test_quantile_guarantee(self, rng):
+        s = rng.exponential(5.0, size=997)
+        e = Empirical(s)
+        for p in (0.5, 0.9, 0.95, 0.99):
+            q = float(e.quantile(p))
+            assert np.mean(s <= q) >= p
+
+    def test_bootstrap_sampling_from_support(self, rng):
+        s = np.array([1.0, 5.0, 9.0])
+        e = Empirical(s)
+        draws = e.sample(1000, rng)
+        assert set(np.unique(draws)) <= set(s)
+
+    def test_min_max_mean(self):
+        e = Empirical([3.0, 1.0, 2.0])
+        assert e.min() == 1.0
+        assert e.max() == 3.0
+        assert e.mean() == pytest.approx(2.0)
+        assert len(e) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            Empirical([1.0, np.nan])
+
+
+class TestTailPercentile:
+    def test_matches_empirical_quantile(self, rng):
+        s = rng.lognormal(1.0, 1.0, size=501)
+        assert tail_percentile(s, 99.0) == pytest.approx(
+            float(Empirical(s).percentile(99.0))
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tail_percentile([], 99.0)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            tail_percentile([1.0], 150.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the parametric service-time distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTS = [
+    Pareto(1.1, 2.0),
+    Pareto(2.5, 1.0),
+    LogNormal(1.0, 1.0),
+    LogNormal(0.0, 0.25),
+    Exponential(0.1),
+    Exponential(2.0),
+    Weibull(0.7, 3.0),
+    Weibull(2.0, 1.0),
+    Uniform(1.0, 9.0),
+    Deterministic(4.2),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: repr(d))
+class TestCommonContract:
+    def test_samples_shape_and_positivity(self, dist, rng):
+        s = dist.sample(1000, rng)
+        assert s.shape == (1000,)
+        assert s.dtype == np.float64
+        assert np.all(s >= 0.0)
+
+    def test_cdf_monotone_and_bounded(self, dist):
+        xs = np.linspace(0.0, 100.0, 501)
+        c = dist.cdf(xs)
+        assert np.all(c >= 0.0) and np.all(c <= 1.0)
+        assert np.all(np.diff(c) >= -1e-12)
+
+    def test_quantile_inverts_cdf(self, dist):
+        ps = np.array([0.1, 0.5, 0.9, 0.99])
+        qs = np.asarray(dist.quantile(ps))
+        # CDF at the quantile must be >= p (right-continuous inverse).
+        assert np.all(dist.cdf(qs + 1e-9) >= ps - 1e-9)
+
+    def test_sample_matches_cdf_ks(self, dist, rng):
+        """One-sample KS-style check: empirical CDF close to analytic."""
+        if isinstance(dist, Deterministic):
+            pytest.skip("KS distance is degenerate for a point mass")
+        s = np.sort(dist.sample(20000, rng))
+        emp = (np.arange(s.size) + 0.5) / s.size
+        ana = dist.cdf(s)
+        assert float(np.max(np.abs(emp - ana))) < 0.02
+
+    def test_determinism_per_seed(self, dist):
+        a = dist.sample(100, np.random.default_rng(7))
+        b = dist.sample(100, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_percentile_bounds_validation(self, dist):
+        with pytest.raises(ValueError):
+            dist.percentile(101.0)
+        with pytest.raises(ValueError):
+            dist.percentile(-0.1)
+
+
+class TestPareto:
+    def test_mean_finite_iff_shape_gt_1(self):
+        assert Pareto(1.1, 2.0).mean() == pytest.approx(22.0)
+        assert Pareto(0.9, 2.0).mean() == float("inf")
+
+    def test_variance_infinite_for_paper_params(self):
+        assert Pareto(1.1, 2.0).variance() == float("inf")
+        assert Pareto(3.0, 1.0).variance() == pytest.approx(0.75)
+
+    def test_survival_closed_form(self):
+        p = Pareto(1.1, 2.0)
+        x = 10.0
+        assert float(p.survival(x)) == pytest.approx((2.0 / 10.0) ** 1.1)
+
+    def test_samples_at_least_mode(self, rng):
+        s = Pareto(1.5, 3.0).sample(1000, rng)
+        assert np.all(s >= 3.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.0, -1.0)
+
+
+class TestLogNormal:
+    def test_mean_closed_form(self):
+        assert LogNormal(1.0, 1.0).mean() == pytest.approx(np.exp(1.5))
+
+    def test_median_is_exp_mu(self):
+        assert float(LogNormal(2.0, 0.7).quantile(0.5)) == pytest.approx(
+            np.exp(2.0), rel=1e-9
+        )
+
+    def test_sample_mean_converges(self, rng):
+        d = LogNormal(1.0, 0.5)
+        s = d.sample(200000, rng)
+        assert s.mean() == pytest.approx(d.mean(), rel=0.02)
+
+
+class TestExponential:
+    def test_memoryless_quantiles(self):
+        d = Exponential(0.1)
+        assert float(d.quantile(0.5)) == pytest.approx(np.log(2.0) / 0.1)
+
+    def test_mean(self):
+        assert Exponential(0.1).mean() == pytest.approx(10.0)
+
+    def test_cdf_at_zero(self):
+        assert float(Exponential(1.0).cdf(0.0)) == 0.0
+
+
+class TestWeibull:
+    def test_shape_1_is_exponential(self, rng):
+        w = Weibull(1.0, 10.0)
+        e = Exponential(0.1)
+        xs = np.linspace(0.1, 50.0, 100)
+        np.testing.assert_allclose(w.cdf(xs), e.cdf(xs), atol=1e-12)
+
+    def test_mean_closed_form(self):
+        assert Weibull(2.0, 2.0).mean() == pytest.approx(
+            2.0 * np.sqrt(np.pi) / 2.0
+        )
+
+
+class TestUniformDeterministic:
+    def test_uniform_bounds(self, rng):
+        s = Uniform(2.0, 5.0).sample(1000, rng)
+        assert s.min() >= 2.0 and s.max() < 5.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 5.0)
+
+    def test_deterministic_is_constant(self, rng):
+        s = Deterministic(3.0).sample(10, rng)
+        assert np.all(s == 3.0)
+        assert Deterministic(3.0).variance() == 0.0
+
+    def test_deterministic_cdf_step(self):
+        d = Deterministic(3.0)
+        assert float(d.cdf(2.999)) == 0.0
+        assert float(d.cdf(3.0)) == 1.0

@@ -1,0 +1,67 @@
+"""Keep the examples runnable: execute the fast ones end to end.
+
+The heavyweight system examples (redis_tail_taming, search_sla_planning)
+are exercised indirectly by the systems tests; here we pin the examples
+that complete in seconds so API drift breaks CI, not users.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, monkeypatch, patches=()):
+    """Execute an example as __main__ with optional attribute patches."""
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "SingleR cut the P99" in out
+
+
+def test_policy_playground_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "policy_playground.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Theorem 3.1 holds" in out
+
+
+def test_online_drift_adaptation_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "online_drift_adaptation.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "refits over 2 days" in out
+
+
+def test_offline_trace_fitting_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "offline_trace_fitting.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "deployed" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "policy_playground.py",
+        "online_drift_adaptation.py",
+        "offline_trace_fitting.py",
+        "redis_tail_taming.py",
+        "search_sla_planning.py",
+    ],
+)
+def test_examples_compile(name):
+    """Every shipped example at least compiles (cheap smoke for the slow
+    ones we do not execute in CI)."""
+    src = (EXAMPLES / name).read_text()
+    compile(src, name, "exec")

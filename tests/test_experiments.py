@@ -1,0 +1,127 @@
+"""Smoke + contract tests for the figure drivers and CLI.
+
+Drivers run at a reduced custom scale so the whole file stays fast; the
+full-fidelity sweeps live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    SCALES,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.common import Scale, get_scale
+
+TINY = Scale(
+    name="tiny", n_queries=2500, eval_seeds=(1, 2), adaptive_trials=2,
+    sweep_points=2,
+)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {f"fig{i}" for i in range(2, 10)}
+
+    def test_unknown_id_raises_with_choices(self):
+        with pytest.raises(KeyError, match="fig2"):
+            get_experiment("fig99")
+
+    def test_get_scale(self):
+        assert get_scale("quick").name == "quick"
+        assert get_scale(TINY) is TINY
+        with pytest.raises(KeyError):
+            get_scale("huge")
+        assert set(SCALES) == {"quick", "standard", "full"}
+
+
+class TestResultContract:
+    """Each driver returns well-formed rows, csv, chart, and notes."""
+
+    @pytest.fixture(scope="class", params=sorted(EXPERIMENTS))
+    def result(self, request):
+        return run_experiment(request.param, scale=TINY, seed=1)
+
+    def test_type_and_id(self, result):
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id in EXPERIMENTS
+
+    def test_rows_match_headers(self, result):
+        assert result.rows, "driver produced no data"
+        for row in result.rows:
+            assert len(row) == len(result.headers)
+
+    def test_csv_parses(self, result):
+        lines = result.csv().splitlines()
+        assert lines[0] == ",".join(result.headers)
+        assert len(lines) == len(result.rows) + 1
+
+    def test_render_includes_notes(self, result):
+        text = result.render()
+        assert result.experiment_id in text
+        assert all(n in text for n in result.notes)
+
+    def test_table_renders(self, result):
+        assert result.title in result.table()
+
+
+class TestFigureSpecifics:
+    def test_fig9_moments_close_to_paper(self):
+        res = run_experiment("fig9", scale=TINY, seed=1)
+        vals = {(r[0], r[1]): r[2] for r in res.rows}
+        assert vals[("redis", "mean_ms")] == pytest.approx(2.37, abs=1.0)
+        assert vals[("lucene", "mean_ms")] == pytest.approx(39.7, abs=4.0)
+        assert vals[("lucene", "std_ms")] == pytest.approx(22, abs=8)
+
+    def test_fig4_correlation_dampened_by_queueing(self):
+        res = run_experiment("fig4", scale=TINY, seed=1)
+        assert res.meta["corr_queueing"] < res.meta["corr_correlated"]
+
+    def test_fig3_rows_cover_all_workloads_and_policies(self):
+        res = run_experiment("fig3", scale=TINY, seed=1)
+        workloads = {r[0] for r in res.rows}
+        policies = {r[2] for r in res.rows}
+        assert workloads == {"independent", "correlated", "queueing"}
+        assert policies == {"SingleR", "SingleD"}
+
+    def test_fig3_budget_column_respected(self):
+        res = run_experiment("fig3", scale=TINY, seed=1)
+        for r in res.rows:
+            if r[2] == "SingleR" and r[0] != "queueing":
+                budget, q, outstanding = r[1], r[4], r[5]
+                assert q * outstanding <= budget * 1.2 + 0.01
+
+    def test_fig8_best_budget_positive(self):
+        res = run_experiment("fig8", scale=TINY, seed=1)
+        assert 0.0 <= res.meta["best_budget"] <= 0.5
+        trials = [r[0] for r in res.rows]
+        assert trials == sorted(trials)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig9" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig99"]) == 2
+
+    def test_writes_outputs(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+        from repro.experiments import registry
+
+        def fake_run(eid, scale="standard", seed=42, **kw):
+            return run_experiment("fig9", scale=TINY, seed=1)
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        assert cli.main(["fig9", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig9.txt").exists()
+        assert (tmp_path / "fig9.csv").exists()

@@ -1,0 +1,121 @@
+"""Tests for the response-time trace log format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interfaces import RunResult
+from repro.io import TraceLog, read_trace, write_trace
+
+
+def make_trace(n=10, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return TraceLog(
+        primary=rng.exponential(5.0, n),
+        pair_x=rng.exponential(5.0, m),
+        pair_y=rng.exponential(5.0, m),
+    )
+
+
+class TestTraceLog:
+    def test_counts(self):
+        t = make_trace(10, 4)
+        assert t.n_primary == 10 and t.n_pairs == 4
+
+    def test_mismatched_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(primary=[1.0], pair_x=[1.0, 2.0], pair_y=[1.0])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(primary=[-1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(primary=np.zeros((2, 2)))
+
+    def test_from_run(self):
+        run = RunResult(
+            latencies=np.array([1.0]),
+            primary_response_times=np.array([1.0, 2.0]),
+            reissue_pair_x=np.array([3.0]),
+            reissue_pair_y=np.array([0.5]),
+            reissue_rate=0.5,
+        )
+        t = TraceLog.from_run(run)
+        assert t.n_primary == 2 and t.n_pairs == 1
+
+    def test_reissue_log_falls_back_to_primary(self):
+        t = TraceLog(primary=[1.0, 2.0])
+        assert np.array_equal(t.reissue_log(), t.primary)
+        t2 = make_trace()
+        assert np.array_equal(t2.reissue_log(), t2.pair_y)
+
+
+class TestRoundTrip:
+    def test_roundtrip_exact(self, tmp_path):
+        t = make_trace(50, 20)
+        p = tmp_path / "trace.csv"
+        write_trace(p, t)
+        back = read_trace(p)
+        assert np.array_equal(back.primary, t.primary)
+        assert np.array_equal(back.pair_x, t.pair_x)
+        assert np.array_equal(back.pair_y, t.pair_y)
+
+    def test_no_tmp_file_left(self, tmp_path):
+        p = tmp_path / "trace.csv"
+        write_trace(p, make_trace())
+        assert list(tmp_path.iterdir()) == [p]
+
+    def test_missing_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("kind,x,y\nprimary,1.0,\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace(p)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("# repro-trace v1\nkind,x,y\nprimary,abc,\n")
+        with pytest.raises(ValueError, match="bad.csv:3"):
+            read_trace(p)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("# repro-trace v1\nkind,x,y\nweird,1.0,2.0\n")
+        with pytest.raises(ValueError, match="weird"):
+            read_trace(p)
+
+    def test_primary_with_y_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("# repro-trace v1\nkind,x,y\nprimary,1.0,2.0\n")
+        with pytest.raises(ValueError):
+            read_trace(p)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "ok.csv"
+        p.write_text(
+            "# repro-trace v1\nkind,x,y\n\n# a comment\nprimary,1.5,\n"
+        )
+        t = read_trace(p)
+        assert t.n_primary == 1 and t.primary[0] == 1.5
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    primary=st.lists(st.floats(0, 1e9), min_size=1, max_size=50),
+    pairs=st.lists(
+        st.tuples(st.floats(0, 1e9), st.floats(0, 1e9)), max_size=20
+    ),
+)
+def test_property_roundtrip(tmp_path_factory, primary, pairs):
+    t = TraceLog(
+        primary=np.array(primary),
+        pair_x=np.array([a for a, _ in pairs]),
+        pair_y=np.array([b for _, b in pairs]),
+    )
+    p = tmp_path_factory.mktemp("traces") / "t.csv"
+    write_trace(p, t)
+    back = read_trace(p)
+    assert np.array_equal(back.primary, t.primary)
+    assert np.array_equal(back.pair_y, t.pair_y)

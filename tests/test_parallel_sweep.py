@@ -1,0 +1,87 @@
+"""Tests for the deterministic process-pool sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.sweep import (
+    SweepPoint,
+    run_sweep,
+    seed_for,
+)
+from repro.parallel.sweep import results_by_key
+
+
+def draw_value(rng, scale=1.0):
+    """Module-level work function (picklable)."""
+    return float(rng.normal(0, scale))
+
+
+def failing_point(rng, explode=False):
+    if explode:
+        raise RuntimeError("boom")
+    return 1
+
+
+class TestSeeding:
+    def test_same_key_same_stream(self):
+        a = np.random.default_rng(seed_for(1, "p0")).random(4)
+        b = np.random.default_rng(seed_for(1, "p0")).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = np.random.default_rng(seed_for(1, "p0")).random(4)
+        b = np.random.default_rng(seed_for(1, "p1")).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_base_seeds_differ(self):
+        a = np.random.default_rng(seed_for(1, "p0")).random(4)
+        b = np.random.default_rng(seed_for(2, "p0")).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestRunSweep:
+    def points(self, n=6):
+        return [SweepPoint(key=f"p{i}", params={"scale": 1.0 + i}) for i in range(n)]
+
+    def test_serial_results_ordered(self):
+        res = run_sweep(draw_value, self.points(), base_seed=7, n_workers=1)
+        assert [r.key for r in res] == [f"p{i}" for i in range(6)]
+        assert all(r.ok for r in res)
+
+    def test_parallel_equals_serial(self):
+        serial = run_sweep(draw_value, self.points(), base_seed=7, n_workers=1)
+        parallel = run_sweep(draw_value, self.points(), base_seed=7, n_workers=3)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+
+    def test_duplicate_keys_rejected(self):
+        pts = [SweepPoint("a"), SweepPoint("a")]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(draw_value, pts)
+
+    def test_lambda_rejected_with_helpful_error(self):
+        with pytest.raises(TypeError, match="module-level"):
+            run_sweep(lambda rng: 1, [SweepPoint("a")])
+
+    def test_failures_recorded_not_raised(self):
+        pts = [
+            SweepPoint("ok", {"explode": False}),
+            SweepPoint("bad", {"explode": True}),
+        ]
+        res = run_sweep(failing_point, pts, n_workers=1)
+        assert res[0].ok and not res[1].ok
+        assert "boom" in res[1].error
+
+    def test_results_by_key_raises_on_failure(self):
+        pts = [SweepPoint("bad", {"explode": True})]
+        res = run_sweep(failing_point, pts, n_workers=1)
+        with pytest.raises(RuntimeError, match="bad"):
+            results_by_key(res)
+
+    def test_results_by_key_maps(self):
+        res = run_sweep(draw_value, self.points(3), n_workers=1)
+        out = results_by_key(res)
+        assert set(out) == {"p0", "p1", "p2"}
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SweepPoint("")

@@ -1,0 +1,108 @@
+"""Tests for the duplicate-cancellation extension (engine option).
+
+Not part of the paper's systems ("once dispatched it is never cancelled")
+— an extension modelling the cancellation variant of Lee et al. from the
+paper's related work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import ImmediateReissue, NoReissue, SingleR
+from repro.distributions import Exponential, Pareto, Uniform
+from repro.simulation.arrivals import PoissonArrivals
+from repro.simulation.engine import ClusterConfig, simulate_cluster
+from repro.simulation.workloads import ServiceModel
+
+
+def make_config(**over):
+    defaults = dict(
+        arrivals=PoissonArrivals(1.2),
+        service_model=ServiceModel(Exponential(1.0)),
+        n_queries=10_000,
+        n_servers=4,
+        warmup_fraction=0.0,
+    )
+    defaults.update(over)
+    return ClusterConfig(**defaults)
+
+
+class TestCancellation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_config(cancel_queued=True, cancel_overhead=-1.0)
+
+    def test_cancellations_counted(self):
+        cfg = make_config(cancel_queued=True)
+        run = simulate_cluster(cfg, ImmediateReissue(), 3)
+        assert run.meta["n_cancelled"] > 0
+        assert run.meta["n_cancelled"] <= run.meta["n_reissues_total"]
+
+    def test_no_cancellation_without_flag(self):
+        cfg = make_config(cancel_queued=False)
+        run = simulate_cluster(cfg, ImmediateReissue(), 3)
+        assert run.meta["n_cancelled"] == 0
+
+    def test_cancellation_reduces_utilization(self):
+        base = simulate_cluster(make_config(), ImmediateReissue(), 5)
+        cancelling = simulate_cluster(
+            make_config(cancel_queued=True), ImmediateReissue(), 5
+        )
+        assert cancelling.utilization < base.utilization
+
+    def test_dispatched_budget_unchanged_by_cancellation(self):
+        # Cancellation saves service time, not sends: the measured
+        # reissue rate still counts every dispatched copy.
+        pol = SingleR(0.2, 0.5)
+        a = simulate_cluster(make_config(), pol, 7)
+        b = simulate_cluster(make_config(cancel_queued=True), pol, 7)
+        assert b.reissue_rate == pytest.approx(a.reissue_rate, abs=0.05)
+
+    def test_cancelled_rows_excluded_from_pair_logs(self):
+        cfg = make_config(cancel_queued=True)
+        run = simulate_cluster(cfg, ImmediateReissue(), 3)
+        n_rows = run.meta["n_reissues_total"] - run.meta["n_cancelled"]
+        assert run.reissue_pair_x.size <= n_rows
+
+    def test_overhead_charged(self):
+        # With a large cancellation overhead, cancelling stops paying.
+        free = simulate_cluster(
+            make_config(cancel_queued=True, cancel_overhead=0.0),
+            ImmediateReissue(),
+            9,
+        )
+        costly = simulate_cluster(
+            make_config(cancel_queued=True, cancel_overhead=5.0),
+            ImmediateReissue(),
+            9,
+        )
+        assert costly.utilization > free.utilization
+
+    def test_cancellation_helps_under_load(self):
+        """The point of the extension: at moderate load, cancelling stale
+        duplicates frees capacity and the tail improves (or at least does
+        not degrade) relative to never-cancel with the same policy."""
+        cfg_plain = make_config(
+            service_model=ServiceModel(Pareto(1.1, 2.0)),
+            arrivals=None,
+            target_utilization=0.5,
+            n_queries=20_000,
+        )
+        cfg_cancel = make_config(
+            service_model=ServiceModel(Pareto(1.1, 2.0)),
+            arrivals=None,
+            target_utilization=0.5,
+            n_queries=20_000,
+            cancel_queued=True,
+        )
+        pol = SingleR(5.0, 0.5)
+        tails_plain, tails_cancel = [], []
+        for s in (1, 2, 3):
+            tails_plain.append(simulate_cluster(cfg_plain, pol, s).tail(0.99))
+            tails_cancel.append(simulate_cluster(cfg_cancel, pol, s).tail(0.99))
+        assert np.median(tails_cancel) <= np.median(tails_plain) * 1.1
+
+    def test_no_reissue_unaffected(self):
+        a = simulate_cluster(make_config(), NoReissue(), 11)
+        b = simulate_cluster(make_config(cancel_queued=True), NoReissue(), 11)
+        assert np.array_equal(a.latencies, b.latencies)

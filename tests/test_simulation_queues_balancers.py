@@ -1,0 +1,152 @@
+"""Tests for queue disciplines (§5.4 Fig 5c) and load balancers (Fig 5b)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.load_balancer import make_balancer
+from repro.simulation.queues import (
+    FifoQueue,
+    PrioritizedFifoQueue,
+    PrioritizedLifoQueue,
+    make_discipline,
+)
+from repro.simulation.server import Request, Server
+
+
+def req(i, reissue=False):
+    return Request(query_id=i, is_reissue=reissue, service_time=1.0, dispatch_time=0.0)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        q = FifoQueue()
+        for i in range(3):
+            q.push(req(i))
+        assert [q.pop().query_id for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        assert FifoQueue().pop() is None
+
+    def test_len_and_bool(self):
+        q = FifoQueue()
+        assert not q
+        q.push(req(0))
+        assert len(q) == 1 and q
+
+
+class TestPrioritized:
+    def test_primaries_before_reissues(self):
+        q = PrioritizedFifoQueue()
+        q.push(req(0, reissue=True))
+        q.push(req(1))
+        q.push(req(2, reissue=True))
+        q.push(req(3))
+        order = [(q.pop().query_id, q.pop().query_id) for _ in range(1)][0]
+        assert order == (1, 3)
+        assert q.pop().query_id == 0  # then reissues FIFO
+        assert q.pop().query_id == 2
+
+    def test_lifo_reissue_order(self):
+        q = PrioritizedLifoQueue()
+        q.push(req(0, reissue=True))
+        q.push(req(1, reissue=True))
+        assert q.pop().query_id == 1  # freshest reissue first
+        assert q.pop().query_id == 0
+
+    def test_len_counts_both_queues(self):
+        q = PrioritizedFifoQueue()
+        q.push(req(0, reissue=True))
+        q.push(req(1))
+        assert len(q) == 2
+
+    def test_factory_names(self):
+        assert isinstance(make_discipline("fifo"), FifoQueue)
+        assert isinstance(
+            make_discipline("prioritized-fifo"), PrioritizedFifoQueue
+        )
+        assert isinstance(
+            make_discipline("prioritized-lifo"), PrioritizedLifoQueue
+        )
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(KeyError, match="fifo"):
+            make_discipline("lifo-what")
+
+    def test_factory_accepts_callable(self):
+        q = make_discipline(FifoQueue)
+        assert isinstance(q, FifoQueue)
+
+
+class TestServer:
+    def test_enqueue_starts_when_idle(self):
+        s = Server(0, FifoQueue())
+        started = s.enqueue(req(0))
+        assert started is not None and s.busy
+
+    def test_enqueue_queues_when_busy(self):
+        s = Server(0, FifoQueue())
+        s.enqueue(req(0))
+        assert s.enqueue(req(1)) is None
+        assert s.backlog() == 2
+
+    def test_finish_returns_done_and_next(self):
+        s = Server(0, FifoQueue())
+        s.enqueue(req(0))
+        s.enqueue(req(1))
+        done, nxt = s.finish()
+        assert done.query_id == 0 and nxt.query_id == 1
+
+    def test_finish_idle_raises(self):
+        with pytest.raises(RuntimeError):
+            Server(0, FifoQueue()).finish()
+
+    def test_busy_time_accumulates(self):
+        s = Server(0, FifoQueue())
+        s.enqueue(req(0))
+        s.finish()
+        assert s.busy_time == pytest.approx(1.0)
+
+
+class TestBalancers:
+    def test_random_uniform_coverage(self):
+        b = make_balancer("random")
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4)
+        backlogs = np.zeros(4, dtype=np.int64)
+        for _ in range(4000):
+            counts[b.choose(backlogs, rng)] += 1
+        assert counts.min() > 800  # roughly uniform
+
+    def test_min_of_all_picks_shortest(self):
+        b = make_balancer("min-of-all")
+        rng = np.random.default_rng(0)
+        backlogs = np.array([3, 0, 2, 5])
+        assert b.choose(backlogs, rng) == 1
+
+    def test_min_of_two_never_picks_strictly_worse(self):
+        b = make_balancer("min-of-2")
+        rng = np.random.default_rng(0)
+        backlogs = np.array([0, 10])
+        # over many draws, the 10-deep server is only chosen when both
+        # probes hit it; with two distinct probes it never wins.
+        picks = {b.choose(backlogs, rng) for _ in range(200)}
+        assert picks == {0}
+
+    def test_round_robin_cycles(self):
+        b = make_balancer("round-robin")
+        rng = np.random.default_rng(0)
+        backlogs = np.zeros(3, dtype=np.int64)
+        seq = [b.choose(backlogs, rng) for _ in range(6)]
+        assert seq == [0, 1, 2, 0, 1, 2]
+
+    def test_unknown_balancer_rejected(self):
+        with pytest.raises(KeyError):
+            make_balancer("magic")
+
+    def test_reset_restores_state(self):
+        b = make_balancer("round-robin")
+        rng = np.random.default_rng(0)
+        backlogs = np.zeros(3, dtype=np.int64)
+        b.choose(backlogs, rng)
+        b.reset()
+        assert b.choose(backlogs, rng) == 0

@@ -1,0 +1,85 @@
+"""Empirical-CDF structures: random access and monotone cursors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import EmpiricalCdf, MonotoneCdfCursor
+
+
+class TestEmpiricalCdf:
+    def test_strict_counting(self):
+        c = EmpiricalCdf([1.0, 2.0, 2.0, 3.0])
+        assert c.count_below(2.0) == 1
+        assert c.count_below(2.5) == 3
+        assert float(c(2.5)) == pytest.approx(0.75)
+
+    def test_vectorized_call(self):
+        c = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(
+            c(np.array([0.5, 2.5, 9.0])), [0.0, 0.5, 1.0]
+        )
+
+    def test_survival_complements(self, rng):
+        s = rng.exponential(1.0, 100)
+        c = EmpiricalCdf(s)
+        ts = np.linspace(0, 5, 20)
+        np.testing.assert_allclose(c.survival(ts), 1.0 - c(ts))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+
+class TestMonotoneCursor:
+    def test_up_direction_matches_searchsorted(self, rng):
+        s = np.sort(rng.exponential(1.0, 500))
+        cur = MonotoneCdfCursor(s, "up")
+        for t in np.sort(rng.uniform(0, 8, 200)):
+            assert cur.count_below(t) == int(
+                np.searchsorted(s, t, side="left")
+            )
+
+    def test_down_direction_matches_searchsorted(self, rng):
+        s = np.sort(rng.exponential(1.0, 500))
+        cur = MonotoneCdfCursor(s, "down")
+        for t in np.sort(rng.uniform(0, 8, 200))[::-1]:
+            assert cur.count_below(t) == int(
+                np.searchsorted(s, t, side="left")
+            )
+
+    def test_non_monotone_raises(self):
+        cur = MonotoneCdfCursor(np.array([1.0, 2.0]), "up")
+        cur.count_below(1.5)
+        with pytest.raises(ValueError):
+            cur.count_below(1.0)
+        cur = MonotoneCdfCursor(np.array([1.0, 2.0]), "down")
+        cur.count_below(1.5)
+        with pytest.raises(ValueError):
+            cur.count_below(1.8)
+
+    def test_repeated_queries_allowed(self):
+        cur = MonotoneCdfCursor(np.array([1.0, 2.0, 3.0]), "up")
+        assert cur.count_below(2.5) == 2
+        assert cur.count_below(2.5) == 2
+
+    def test_cdf_and_survival(self):
+        cur = MonotoneCdfCursor(np.array([1.0, 2.0, 3.0, 4.0]), "up")
+        assert cur.cdf(2.5) == pytest.approx(0.5)
+        assert cur.survival(3.5) == pytest.approx(0.25)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            MonotoneCdfCursor(np.array([1.0]), "sideways")
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=80),
+        st.lists(st.floats(-5, 105, allow_nan=False), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, samples, queries):
+        s = np.sort(np.asarray(samples))
+        cur = MonotoneCdfCursor(s, "up")
+        for t in sorted(queries):
+            assert cur.count_below(t) == int(np.sum(s < t))

@@ -1,0 +1,96 @@
+"""Fenwick tree unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import FenwickTree
+
+
+class TestFenwickBasics:
+    def test_empty_tree(self):
+        t = FenwickTree(0)
+        assert len(t) == 0
+        assert t.prefix_sum(0) == 0
+        assert t.total() == 0
+
+    def test_single_slot(self):
+        t = FenwickTree(1)
+        t.add(0, 5)
+        assert t.prefix_sum(1) == 5
+        assert t.prefix_sum(0) == 0
+
+    def test_prefix_sums(self):
+        t = FenwickTree(10)
+        for i in range(10):
+            t.add(i, i)
+        for c in range(11):
+            assert t.prefix_sum(c) == sum(range(c))
+
+    def test_range_sum(self):
+        t = FenwickTree(8)
+        for i in range(8):
+            t.add(i, 1)
+        assert t.range_sum(2, 5) == 3
+        assert t.range_sum(5, 2) == 0
+
+    def test_prefix_clamps(self):
+        t = FenwickTree(4)
+        t.add(3, 7)
+        assert t.prefix_sum(100) == 7
+        assert t.prefix_sum(-5) == 0
+
+    def test_index_bounds(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4)
+        with pytest.raises(IndexError):
+            t.add(-1)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_find_kth(self):
+        t = FenwickTree(10)
+        for i in (2, 5, 5, 9):
+            t.add(i)
+        assert t.find_kth(1) == 2
+        assert t.find_kth(2) == 5
+        assert t.find_kth(3) == 5
+        assert t.find_kth(4) == 9
+        with pytest.raises(ValueError):
+            t.find_kth(5)
+        with pytest.raises(ValueError):
+            t.find_kth(0)
+
+
+class TestFenwickProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(1, 5)),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce(self, updates):
+        t = FenwickTree(64)
+        ref = np.zeros(64, dtype=np.int64)
+        for idx, delta in updates:
+            t.add(idx, delta)
+            ref[idx] += delta
+        for c in range(0, 65, 7):
+            assert t.prefix_sum(c) == int(ref[:c].sum())
+        assert t.total() == int(ref.sum())
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_find_kth_matches_sorted(self, indices):
+        t = FenwickTree(32)
+        for i in indices:
+            t.add(i)
+        expected = sorted(indices)
+        for k in range(1, len(indices) + 1):
+            assert t.find_kth(k) == expected[k - 1]

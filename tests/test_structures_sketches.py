@@ -1,0 +1,114 @@
+"""Streaming quantile sketches: P² and t-digest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import P2Quantile, TDigest
+
+
+class TestP2Quantile:
+    def test_small_stream_exact(self):
+        q = P2Quantile(0.5)
+        for x in [5.0, 1.0, 3.0]:
+            q.add(x)
+        assert q.value() == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value()
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95, 0.99])
+    def test_converges_on_exponential(self, p, rng):
+        data = rng.exponential(10.0, 50000)
+        est = P2Quantile(p)
+        for x in data:
+            est.add(x)
+        true = np.quantile(data, p)
+        assert est.value() == pytest.approx(true, rel=0.08)
+
+    def test_converges_on_uniform(self, rng):
+        data = rng.uniform(0, 1, 20000)
+        est = P2Quantile(0.9)
+        for x in data:
+            est.add(x)
+        assert est.value() == pytest.approx(0.9, abs=0.02)
+
+    def test_count_tracks(self):
+        est = P2Quantile(0.5)
+        for i in range(10):
+            est.add(float(i))
+        assert est.count == 10
+
+
+class TestTDigest:
+    def test_single_value(self):
+        d = TDigest()
+        d.add(42.0)
+        assert d.quantile(0.5) == 42.0
+
+    def test_extremes_exact(self, rng):
+        data = rng.normal(0, 1, 10000)
+        d = TDigest(100)
+        d.add_batch(data)
+        assert d.quantile(0.0) == pytest.approx(float(data.min()))
+        assert d.quantile(1.0) == pytest.approx(float(data.max()))
+
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_accuracy_lognormal(self, p, rng):
+        data = rng.lognormal(1.0, 1.0, 50000)
+        d = TDigest(200)
+        d.add_batch(data)
+        true = float(np.quantile(data, p))
+        assert d.quantile(p) == pytest.approx(true, rel=0.05)
+
+    def test_merge_equals_union(self, rng):
+        a_data = rng.exponential(1.0, 20000)
+        b_data = rng.exponential(5.0, 20000)
+        a, b = TDigest(200), TDigest(200)
+        a.add_batch(a_data)
+        b.add_batch(b_data)
+        merged = a.merge(b)
+        union = np.concatenate([a_data, b_data])
+        for p in (0.5, 0.9, 0.99):
+            assert merged.quantile(p) == pytest.approx(
+                float(np.quantile(union, p)), rel=0.08
+            )
+
+    def test_count(self, rng):
+        d = TDigest()
+        d.add_batch(rng.uniform(0, 1, 500))
+        assert d.count == 500
+
+    def test_compression_bounds_memory(self, rng):
+        d = TDigest(50)
+        d.add_batch(rng.uniform(0, 1, 100000))
+        d._flush()
+        assert d._means.size < 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TDigest(5)
+        d = TDigest()
+        with pytest.raises(ValueError):
+            d.quantile(0.5)
+        with pytest.raises(ValueError):
+            d.add(1.0, w=0.0)
+        d.add(1.0)
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_median_within_range(self, data):
+        d = TDigest(50)
+        d.add_batch(np.asarray(data))
+        m = d.quantile(0.5)
+        assert min(data) <= m <= max(data)

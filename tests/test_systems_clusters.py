@@ -1,0 +1,174 @@
+"""Integration tests for the Redis / Lucene cluster systems (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import NoReissue, SingleD, SingleR
+from repro.systems import (
+    LuceneClusterSystem,
+    RedisClusterSystem,
+    RoundRobinConnectionQueue,
+)
+from repro.simulation.server import Request
+
+
+def req(qid, reissue=False):
+    return Request(query_id=qid, is_reissue=reissue, service_time=1.0, dispatch_time=0.0)
+
+
+class TestRoundRobinConnectionQueue:
+    def test_cycles_over_connections(self):
+        q = RoundRobinConnectionQueue(n_connections=2)
+        # conn0: qids 0,2; conn1: qids 1,3
+        for i in range(4):
+            q.push(req(i))
+        order = [q.pop().query_id for _ in range(4)]
+        assert order == [0, 1, 2, 3]
+
+    def test_one_spammy_connection_does_not_starve(self):
+        q = RoundRobinConnectionQueue(n_connections=2)
+        for _ in range(3):
+            q.push(req(0))  # all on conn 0
+        q.push(req(1))  # conn 1
+        order = []
+        while q:
+            order.append(q.pop().query_id)
+        assert order.index(1) == 1  # served in the first full cycle
+
+    def test_reissues_hash_to_other_connections(self):
+        q = RoundRobinConnectionQueue(n_connections=16)
+        conns = {q._connection_of(req(i)) for i in range(16)}
+        reconns = {q._connection_of(req(i, reissue=True)) for i in range(16)}
+        assert conns == set(range(16))
+        assert reconns  # defined and valid
+        assert all(0 <= c < 16 for c in reconns)
+
+    def test_pop_empty(self):
+        assert RoundRobinConnectionQueue().pop() is None
+
+    def test_len_tracks(self):
+        q = RoundRobinConnectionQueue(4)
+        q.push(req(0))
+        q.push(req(1))
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinConnectionQueue(0)
+
+
+@pytest.fixture(scope="module")
+def redis_sys():
+    return RedisClusterSystem(utilization=0.4, n_queries=6000)
+
+
+@pytest.fixture(scope="module")
+def lucene_sys():
+    return LuceneClusterSystem(utilization=0.4, n_queries=6000)
+
+
+class TestRedisCluster:
+    def test_utilization_targeted(self, redis_sys):
+        run = redis_sys.run(NoReissue(), np.random.default_rng(1))
+        assert run.utilization == pytest.approx(0.4, abs=0.12)
+        assert run.meta["system"] == "redis-set-intersection"
+
+    def test_fixed_trace_stabilizes_p99(self, redis_sys):
+        p99s = [
+            redis_sys.run(NoReissue(), np.random.default_rng(s)).tail(0.99)
+            for s in (1, 2)
+        ]
+        assert max(p99s) / min(p99s) < 2.0  # trace pinned, only arrival noise
+
+    def test_reissue_rate_tracks_budget(self, redis_sys):
+        base = redis_sys.run(NoReissue(), np.random.default_rng(3))
+        rx = base.primary_response_times
+        d = float(np.quantile(rx, 0.96))
+        q = 0.5
+        run = redis_sys.run(SingleR(d, q), np.random.default_rng(3))
+        assert 0.0 < run.reissue_rate < 0.15
+
+    def test_service_time_sample_profile(self, redis_sys):
+        s = redis_sys.service_time_sample(6000, rng=1)
+        assert s.min() >= redis_sys.store.overhead_ms
+        assert (s < 10).mean() > 0.9
+
+    def test_execute_sample_requires_materialized(self):
+        sys_ = RedisClusterSystem(
+            utilization=0.3, n_queries=100, materialize=True,
+        )
+        out = sys_.execute_sample(3, rng=0)
+        assert len(out) == 3
+        assert all(isinstance(a, np.ndarray) for a in out)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedisClusterSystem(utilization=0.0)
+
+
+class TestLuceneCluster:
+    def test_utilization_targeted(self, lucene_sys):
+        run = lucene_sys.run(NoReissue(), np.random.default_rng(1))
+        assert run.utilization == pytest.approx(0.4, abs=0.1)
+        assert run.meta["system"] == "lucene-search"
+
+    def test_reissue_uses_fresh_noise(self, lucene_sys):
+        # Reissue response times must not be identical to primaries: the
+        # per-execution noise decorrelates replica re-executions.
+        run = lucene_sys.run(SingleR(30.0, 0.5), np.random.default_rng(2))
+        assert run.reissue_pair_x.size > 10
+        assert not np.allclose(
+            run.reissue_pair_x[:10], run.reissue_pair_y[:10]
+        )
+
+    def test_single_fifo_discipline(self, lucene_sys):
+        assert lucene_sys._config.discipline == "fifo"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LuceneClusterSystem(utilization=1.0)
+
+
+class TestPaperShapeChecks:
+    """Coarse, seed-pinned shape assertions from §6 (small n for speed)."""
+
+    def test_redis_singler_beats_baseline_at_40(self):
+        sys_ = RedisClusterSystem(utilization=0.4, n_queries=20_000)
+        seeds = (7, 9, 11)
+        base = np.median(
+            [sys_.run(NoReissue(), np.random.default_rng(s)).tail(0.99) for s in seeds]
+        )
+        rx = sys_.run(NoReissue(), np.random.default_rng(7)).primary_response_times
+        d = float(np.quantile(rx, 0.97))
+        q = min(1.0, 0.035 / max(float((rx > d).mean()), 1e-9))
+        tail = np.median(
+            [sys_.run(SingleR(d, q), np.random.default_rng(s)).tail(0.99) for s in seeds]
+        )
+        assert tail < base * 0.9  # paper: 30-70% lower at 2-3.5%
+
+    def test_redis_singler_beats_singled_at_small_budget(self):
+        # SingleD is one point of the SingleR family (q=1 at the Eq.-2
+        # delay); the *best* SingleR over a delay grid must therefore do at
+        # least as well, within seed noise.
+        sys_ = RedisClusterSystem(utilization=0.4, n_queries=20_000)
+        seeds = (7, 9)
+        rx = sys_.run(NoReissue(), np.random.default_rng(7)).primary_response_times
+        B = 0.015
+        d_sd = float(np.quantile(rx, 1 - B))
+        sd = np.median(
+            [sys_.run(SingleD(d_sd), np.random.default_rng(s)).tail(0.99) for s in seeds]
+        )
+        best_sr = np.inf
+        for pct in (0.95, 0.965, 0.98, 1 - B):
+            d = float(np.quantile(rx, pct))
+            q = min(1.0, B / max(float((rx > d).mean()), 1e-9))
+            sr = np.median(
+                [
+                    sys_.run(SingleR(d, q), np.random.default_rng(s)).tail(0.99)
+                    for s in seeds
+                ]
+            )
+            best_sr = min(best_sr, sr)
+        assert best_sr <= sd * 1.1

@@ -1,0 +1,175 @@
+"""Tests for the Redis substrate's data plane (SetStore, §6.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systems.setstore import (
+    SetCorpusConfig,
+    SetIntersectionWorkload,
+    SetStore,
+    sample_cardinalities,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return SetStore.build_synthetic(
+        SetCorpusConfig(n_sets=50, median_cardinality=100, sigma=1.0),
+        rng=np.random.default_rng(0),
+        materialize=True,
+    )
+
+
+class TestCommands:
+    def test_sadd_dedups_and_counts(self):
+        s = SetStore()
+        assert s.sadd("k", [3, 1, 2, 3]) == 3
+        assert s.sadd("k", [3, 4]) == 4
+        assert s.scard("k") == 4
+
+    def test_sismember(self):
+        s = SetStore()
+        s.sadd("k", [10, 20])
+        assert s.sismember("k", 10)
+        assert not s.sismember("k", 15)
+        assert not s.sismember("missing", 1)
+
+    def test_sinter_correctness(self):
+        s = SetStore()
+        s.sadd("a", [1, 2, 3, 4])
+        s.sadd("b", [3, 4, 5])
+        assert np.array_equal(s.sinter("a", "b"), [3, 4])
+        assert s.sinter_card("a", "b") == 2
+
+    def test_sinter_missing_key_raises(self):
+        s = SetStore()
+        s.sadd("a", [1])
+        with pytest.raises(KeyError):
+            s.sinter("a", "nope")
+
+    def test_container_protocol(self, store):
+        assert len(store) == 50
+        assert "set:0000" in store
+        assert store.keys() == sorted(store.keys())
+
+
+class TestCostModel:
+    def test_cost_uses_min_cardinality(self):
+        s = SetStore(overhead_ms=0.1, elements_per_ms=100.0)
+        s.sadd("small", range(10))
+        s.sadd("big", range(1000))
+        assert s.intersection_cost_ms("small", "big") == pytest.approx(
+            0.1 + 10 / 100.0
+        )
+
+    def test_vectorized_cost_matches_scalar(self, store):
+        keys = store.keys()[:10]
+        cards = np.array([store.scard(k) for k in keys])
+        vec = store.cost_ms_from_cardinalities(cards[:5], cards[5:])
+        for i in range(5):
+            expected = store.overhead_ms + min(cards[i], cards[5 + i]) / store.elements_per_ms
+            assert vec[i] == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetStore(overhead_ms=-1.0)
+        with pytest.raises(ValueError):
+            SetStore(elements_per_ms=0.0)
+
+
+class TestCorpus:
+    def test_cardinalities_respect_cap(self):
+        cfg = SetCorpusConfig(max_cardinality=500)
+        cards = sample_cardinalities(cfg, 2000, np.random.default_rng(1))
+        assert cards.max() <= 500
+        assert cards.min() >= 1
+
+    def test_materialized_members_in_universe(self, store):
+        arr = store._sets["set:0000"]
+        assert arr.min() >= 1
+        assert np.all(np.diff(arr) > 0)  # sorted, unique
+
+    def test_default_profile_matches_paper(self):
+        """The headline §6.2 service-time profile (fig9 moments)."""
+        s = SetStore.build_synthetic(
+            rng=np.random.default_rng(2), materialize=False
+        )
+        w = SetIntersectionWorkload(s)
+        cost = w.sample_primary(40_000, np.random.default_rng(1))
+        assert cost.mean() == pytest.approx(2.37, abs=0.8)
+        assert 5 <= (cost > 150).sum() <= 60  # "a handful (~20)"
+        assert (cost < 10).mean() > 0.93  # "over 98% below 10ms" (we hit ~96%)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SetCorpusConfig(n_sets=1)
+        with pytest.raises(ValueError):
+            SetCorpusConfig(sigma=0.0)
+        with pytest.raises(ValueError):
+            SetCorpusConfig(max_cardinality=2_000_000)
+
+
+class TestWorkload:
+    def test_pairs_are_distinct(self, store):
+        w = SetIntersectionWorkload(store)
+        pairs = w.sample_pairs(5000, np.random.default_rng(0))
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+        assert pairs.min() >= 0 and pairs.max() < 50
+
+    def test_reissue_equals_primary(self, store):
+        w = SetIntersectionWorkload(store)
+        x = np.array([1.0, 5.0])
+        assert np.array_equal(w.sample_reissue(x), x)
+
+    def test_exact_mean_matches_sampled(self, store):
+        w = SetIntersectionWorkload(store)
+        sampled = w.sample_primary(200_000, np.random.default_rng(3)).mean()
+        assert w.mean_service() == pytest.approx(sampled, rel=0.05)
+
+    def test_freeze_trace_replays(self, store):
+        w = SetIntersectionWorkload(store)
+        frozen = w.freeze_trace(100, np.random.default_rng(0))
+        a = w.sample_primary(100, np.random.default_rng(1))
+        b = w.sample_primary(100, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, frozen)
+
+    def test_freeze_trace_tiles(self, store):
+        w = SetIntersectionWorkload(store)
+        w.freeze_trace(10, np.random.default_rng(0))
+        out = w.sample_primary(25)
+        assert np.array_equal(out[:10], out[10:20])
+
+    def test_thaw_restores_randomness(self, store):
+        w = SetIntersectionWorkload(store)
+        w.freeze_trace(50, np.random.default_rng(0))
+        w.thaw_trace()
+        a = w.sample_primary(50, np.random.default_rng(1))
+        b = w.sample_primary(50, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_execute_returns_real_intersection(self, store):
+        w = SetIntersectionWorkload(store)
+        out = w.execute((0, 1))
+        expected = store.sinter("set:0000", "set:0001")
+        assert np.array_equal(out, expected)
+
+    def test_needs_two_sets(self):
+        s = SetStore()
+        s.sadd("only", [1])
+        with pytest.raises(ValueError):
+            SetIntersectionWorkload(s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.lists(st.integers(1, 1000), min_size=1, max_size=60),
+    b=st.lists(st.integers(1, 1000), min_size=1, max_size=60),
+)
+def test_property_sinter_equals_python_sets(a, b):
+    s = SetStore()
+    s.sadd("a", a)
+    s.sadd("b", b)
+    assert set(s.sinter("a", "b").tolist()) == set(a) & set(b)

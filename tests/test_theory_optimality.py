@@ -1,0 +1,136 @@
+"""Numerical verification of the paper's theorems (§3).
+
+Theorem 3.1/3.2: in the static independent model, for a given budget B
+and percentile k, no DoubleR/MultipleR policy achieves a lower k-th
+percentile tail latency than the optimal SingleR policy.
+
+We verify by grid search over closed-form distributions: the analytic
+completion CDF (Eq. 3 generalized) gives each policy's exact tail, so the
+comparison is free of sampling noise.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import optimal_singler
+from repro.core.policies import DoubleR, MultipleR, SingleR
+from repro.distributions import Exponential, LogNormal, Pareto, Weibull
+
+PERCENTILE = 95.0
+K = PERCENTILE / 100.0
+
+
+def best_singler_tail(dist, budget, d_grid):
+    """Exact optimal SingleR tail over a delay grid (q from Eq. 4)."""
+    best = np.inf
+    for d in d_grid:
+        surv = 1.0 - float(dist.cdf(d))
+        if surv < budget:  # Eq. 5: cannot spend the budget
+            continue
+        q = min(1.0, budget / surv)
+        t = SingleR(d, q).tail_latency(PERCENTILE, dist, dist)
+        best = min(best, t)
+    return best
+
+
+def feasible_doubler_policies(dist, budget, d_grid, q_grid):
+    """DoubleR policies whose Eq.-15 budget is within the cap."""
+    for d1, d2 in itertools.combinations_with_replacement(d_grid, 2):
+        for q1, q2 in itertools.product(q_grid, repeat=2):
+            pol = DoubleR(d1, q1, d2, q2)
+            if pol.expected_budget(dist, dist) <= budget + 1e-9:
+                yield pol
+
+
+@pytest.mark.parametrize(
+    "dist",
+    [
+        Exponential(0.5),
+        Pareto(1.1, 2.0),
+        LogNormal(1.0, 1.0),
+        Weibull(0.7, 2.0),
+    ],
+    ids=["exp", "pareto", "lognormal", "weibull"],
+)
+@pytest.mark.parametrize("budget", [0.05, 0.15, 0.3])
+def test_theorem31_no_doubler_beats_optimal_singler(dist, budget):
+    hi = float(dist.quantile(0.999))
+    d_grid = np.unique(
+        np.concatenate([[0.0], np.array(dist.quantile(np.linspace(0.2, 1 - budget, 12)))])
+    )
+    q_grid = np.linspace(0.1, 1.0, 5)
+    t_single = best_singler_tail(dist, budget, d_grid)
+    for pol in feasible_doubler_policies(dist, budget, d_grid[::2], q_grid):
+        t_double = pol.tail_latency(PERCENTILE, dist, dist, t_hi=hi * 2)
+        assert t_double >= t_single - 1e-6 * max(t_single, 1.0), (
+            f"DoubleR {pol} beats optimal SingleR: {t_double} < {t_single}"
+        )
+
+
+def test_theorem32_triple_reissue_no_better():
+    dist = Pareto(1.1, 2.0)
+    budget = 0.2
+    d_grid = np.array(dist.quantile(np.linspace(0.3, 0.8, 5)))
+    q_grid = np.array([0.03, 0.07, 0.15, 0.3])
+    t_single = best_singler_tail(
+        dist, budget, np.array(dist.quantile(np.linspace(0.2, 0.8, 16)))
+    )
+    count = 0
+    for ds in itertools.combinations_with_replacement(d_grid, 3):
+        for qs in itertools.product(q_grid, repeat=3):
+            pol = MultipleR(list(zip(ds, qs)))
+            if pol.expected_budget(dist, dist) > budget + 1e-9:
+                continue
+            count += 1
+            t_multi = pol.tail_latency(PERCENTILE, dist, dist)
+            assert t_multi >= t_single - 1e-6 * t_single
+    assert count > 20  # the comparison actually exercised the family
+
+
+def test_equal_budget_singler_matches_singled_at_dprime():
+    # At d' where Pr(X > d') = B, SingleR(d', 1) IS the SingleD policy.
+    dist = Exponential(1.0)
+    B = 0.1
+    d_prime = float(dist.quantile(1 - B))
+    sr = SingleR(d_prime, 1.0)
+    assert sr.expected_budget(dist, dist) == pytest.approx(B, rel=1e-6)
+
+
+def test_section24_singled_cannot_help_below_1mk():
+    # §2.4: SingleD with B < 1-k cannot reduce the k-th percentile.
+    dist = Pareto(1.1, 2.0)
+    B = 0.02  # < 1 - 0.95
+    d = float(dist.quantile(1 - B))  # the only budget-feasible delay
+    base = float(dist.quantile(K))
+    from repro.core.policies import SingleD
+
+    t = SingleD(d).tail_latency(PERCENTILE, dist, dist)
+    assert t == pytest.approx(base, rel=1e-6)
+
+
+def test_singler_helps_below_1mk():
+    dist = Pareto(1.1, 2.0)
+    B = 0.02
+    base = float(dist.quantile(K))
+    t = best_singler_tail(
+        dist, B, np.array(dist.quantile(np.linspace(0.1, 0.97, 30)))
+    )
+    assert t < base * 0.95  # strictly meaningful reduction
+
+
+class TestAnalyticOptimum:
+    def test_analytic_matches_grid_search(self):
+        dist = Exponential(0.7)
+        B = 0.15
+        fit = optimal_singler(dist, dist, percentile=K, budget=B)
+        grid = best_singler_tail(
+            dist, B, np.array(dist.quantile(np.linspace(0.01, 1 - B, 400)))
+        )
+        assert fit.tail == pytest.approx(grid, rel=5e-3)
+
+    def test_analytic_budget_feasible(self):
+        dist = LogNormal(1.0, 1.0)
+        fit = optimal_singler(dist, dist, percentile=0.95, budget=0.1)
+        assert fit.policy.expected_budget(dist, dist) <= 0.1 + 1e-6

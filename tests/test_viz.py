@@ -1,0 +1,112 @@
+"""Tests for the ASCII chart and table renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii_chart import histogram_chart, line_chart, scatter_chart
+from repro.viz.table import format_csv, format_table
+
+
+class TestLineChart:
+    def test_renders_frame_and_legend(self):
+        out = line_chart(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])},
+            title="T", width=20, height=6,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("+") and lines[2].endswith("+")
+        assert "legend: * a   o b" in out
+
+    def test_extremes_are_plotted_in_corners(self):
+        out = line_chart({"s": ([0, 10], [0, 10])}, width=10, height=5)
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert rows[0].rstrip("|").endswith("*")  # top-right
+        assert rows[-1][1] == "*"  # bottom-left
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            line_chart({"s": ([np.nan], [np.nan])})
+
+    def test_nan_points_skipped(self):
+        out = line_chart({"s": ([0, np.nan, 2], [1, np.nan, 3])})
+        assert "*" in out
+
+    def test_tiny_chart_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": ([0], [0])}, width=2, height=2)
+
+    def test_constant_series_renders(self):
+        out = line_chart({"s": ([0, 1, 2], [5, 5, 5])})
+        assert "5 .. 5" in out
+
+    def test_axis_ranges_in_output(self):
+        out = line_chart({"s": ([2, 8], [10, 90])}, x_label="B", y_label="L")
+        assert "B: 2 .. 8" in out
+        assert "L: 10 .. 90" in out
+
+
+class TestScatterHistogram:
+    def test_scatter_uses_dot_glyph(self):
+        out = scatter_chart([0, 1], [0, 1])
+        assert "." in out and "*" not in out.replace("legend: . points", "")
+
+    def test_histogram_counts_sum(self):
+        vals = np.array([1.0, 1.5, 25.0])
+        out = histogram_chart(vals, 10.0, log_counts=False)
+        assert "| 2" in out and "| 1" in out
+
+    def test_histogram_clips_long_tails(self):
+        vals = np.concatenate([np.ones(100), [1e6]])
+        out = histogram_chart(vals, 1.0, max_bins=5)
+        assert "+|" in out  # clip marker on last bin
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram_chart([], 1.0)
+
+    def test_histogram_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            histogram_chart([1.0], 0.0)
+
+    def test_log_scaling_compresses(self):
+        vals = np.concatenate([np.zeros(10_000), np.full(1, 5.0)])
+        out_log = histogram_chart(vals, 1.0, log_counts=True, max_bar=40)
+        first_bar = out_log.splitlines()[1].count("#")
+        last_bar = out_log.splitlines()[-1].count("#")
+        assert last_bar > 0  # single count still visible on log axis
+        assert first_bar == 40
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert lines[0].endswith("v")
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_csv(self):
+        out = format_csv(["a", "b"], [[1, 2.5], ["x", 0.001]])
+        assert out.splitlines()[0] == "a,b"
+        assert out.splitlines()[1] == "1,2.5"
+
+    def test_csv_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        out = format_csv(["v"], [[123456.0], [0.00001]])
+        assert "1.23e+05" in out
+        assert "1e-05" in out
