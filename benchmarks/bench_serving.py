@@ -1,0 +1,119 @@
+"""Benchmarks for the live hedging runtime.
+
+* raw request-path throughput of :class:`HedgedClient` (requests/sec)
+  against a no-hedging asyncio baseline that calls the backend directly
+  — the price of admission control, policy timers and telemetry;
+* p99 latency: hedging overhead with :class:`NoReissue` must be nil in
+  model terms, while a tuned :class:`SingleR` must cut the tail.
+
+The backends run at ``time_scale=0`` for the throughput measurements
+(every sleep degenerates to one event-loop yield, so the benchmark times
+the runtime machinery, not the modeled service), and at a small nonzero
+scale for the latency-shape checks.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.policies import NoReissue, SingleR
+from repro.distributions import LogNormal
+from repro.serving import HedgedClient, ServingMetrics, SyntheticBackend
+
+N_REQUESTS = 2_000
+DIST = LogNormal(mu=3.0, sigma=0.8)
+
+
+def make_backend(time_scale=0.0, seed=5):
+    return SyntheticBackend(DIST, time_scale=time_scale, rng=seed)
+
+
+async def baseline_stream(backend, n):
+    """No-hedging baseline: straight backend calls, no client machinery,
+    recording latencies into the same sketch the client would use."""
+    metrics = ServingMetrics()
+    sem = asyncio.Semaphore(64)
+
+    async def one(i):
+        async with sem:
+            resp = await backend.request(i)
+        metrics.record_latency(resp.latency_ms)
+
+    await asyncio.gather(*(one(i) for i in range(n)))
+    return metrics
+
+
+def test_perf_baseline_async_throughput(benchmark):
+    def run_once():
+        return asyncio.run(baseline_stream(make_backend(), N_REQUESTS))
+
+    metrics = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert metrics.completed == N_REQUESTS
+    rate = N_REQUESTS / benchmark.stats.stats.mean
+    print(f"\nbaseline async throughput: {rate:,.0f} req/s")
+
+
+def test_perf_hedged_client_throughput_noreissue(benchmark):
+    def run_once():
+        client = HedgedClient(
+            make_backend(), NoReissue(), concurrency=64, rng=1
+        )
+        asyncio.run(client.serve(N_REQUESTS))
+        return client
+
+    client = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert client.metrics.completed == N_REQUESTS
+    rate = N_REQUESTS / benchmark.stats.stats.mean
+    print(f"\nHedgedClient (NoReissue) throughput: {rate:,.0f} req/s")
+
+
+def test_perf_hedged_client_throughput_singler(benchmark):
+    def run_once():
+        client = HedgedClient(
+            make_backend(), SingleR(40.0, 0.5), concurrency=64, rng=1
+        )
+        asyncio.run(client.serve(N_REQUESTS))
+        return client
+
+    client = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert client.metrics.completed == N_REQUESTS
+    rate = N_REQUESTS / benchmark.stats.stats.mean
+    print(f"\nHedgedClient (SingleR) throughput: {rate:,.0f} req/s")
+
+
+def test_perf_hedging_p99_overhead_and_benefit(benchmark):
+    """NoReissue through the client must match the raw baseline's p99 in
+    model latency (zero accounting overhead); a tuned SingleR must beat
+    both."""
+    time_scale = 2e-5
+
+    def run_once():
+        base = asyncio.run(
+            baseline_stream(make_backend(time_scale), N_REQUESTS)
+        )
+        plain = HedgedClient(
+            make_backend(time_scale), NoReissue(), concurrency=64, rng=1
+        )
+        asyncio.run(plain.serve(N_REQUESTS))
+        hedged = HedgedClient(
+            make_backend(time_scale),
+            SingleR(40.0, 0.5),
+            concurrency=64,
+            rng=1,
+        )
+        asyncio.run(hedged.serve(N_REQUESTS))
+        return base, plain.metrics, hedged.metrics
+
+    base, plain, hedged = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    p99_base = base.quantile(0.99)
+    p99_plain = plain.quantile(0.99)
+    p99_hedged = hedged.quantile(0.99)
+    print(
+        f"\np99: baseline {p99_base:.1f} ms, client/NoReissue "
+        f"{p99_plain:.1f} ms, client/SingleR {p99_hedged:.1f} ms"
+    )
+    # Same seed, same draws: the un-hedged client adds no model latency.
+    assert p99_plain == pytest.approx(p99_base, rel=0.05)
+    # And hedging buys a real tail reduction.
+    assert p99_hedged < 0.9 * p99_plain

@@ -6,6 +6,8 @@ Public API highlights:
 * :mod:`repro.distributions` — service-time distribution library.
 * :mod:`repro.simulation` — discrete-event cluster simulator (§5).
 * :mod:`repro.systems` — Redis and Lucene substrates (§6).
+* :mod:`repro.serving` — asyncio hedging runtime executing the policies
+  against live async backends (``repro-serve``).
 * :mod:`repro.experiments` — drivers regenerating every paper figure.
 """
 

@@ -13,12 +13,24 @@ Examples
 from __future__ import annotations
 
 import argparse
+import inspect
 import signal
 import sys
 import time
 from pathlib import Path
 
 from .experiments import EXPERIMENTS, SCALES, run_experiment
+
+
+def _experiment_summary(driver) -> str:
+    """One-line summary: the driver's docstring, else its module's."""
+    doc = inspect.getdoc(driver)
+    if not doc:
+        module = sys.modules.get(driver.__module__)
+        doc = inspect.getdoc(module) if module else None
+    if doc:
+        return doc.strip().splitlines()[0]
+    return (driver.__module__ or "").rsplit(".", 1)[-1]
 
 
 def _write_outputs(out_dir: Path, result) -> None:
@@ -59,8 +71,7 @@ def main(argv=None) -> int:
 
     if args.experiment == "list":
         for eid in sorted(EXPERIMENTS):
-            doc = (EXPERIMENTS[eid].__module__ or "").rsplit(".", 1)[-1]
-            print(f"{eid}  ({doc})")
+            print(f"{eid}  {_experiment_summary(EXPERIMENTS[eid])}")
         return 0
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

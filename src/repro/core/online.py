@@ -84,6 +84,20 @@ class SlidingWindowLog:
             raise ValueError("empty window")
         return float(np.quantile(self.primary(), k, method="higher"))
 
+    def keep_last(self, n: int, keep_pairs: int = 0) -> None:
+        """Drop all but the most recent ``n`` primary observations and
+        the most recent ``keep_pairs`` reissue pairs. Used when a drift
+        refit decides the older regime's samples would poison the fit —
+        pairs delivered alongside the triggering batch are new-regime
+        evidence and worth keeping."""
+        if n < 0 or keep_pairs < 0:
+            raise ValueError("n and keep_pairs must be >= 0")
+        while len(self._primary) > n:
+            self._primary.popleft()
+        while len(self._pair_x) > keep_pairs:
+            self._pair_x.popleft()
+            self._pair_y.popleft()
+
 
 class DriftDetector:
     """Two-sample KS drift detector over response-time windows.
@@ -151,6 +165,12 @@ class OnlinePolicyController:
         damping is bypassed (the old delay is stale by assumption).
     window:
         Observation window capacity.
+    truncate_window_on_drift:
+        When a drift refit fires, first shrink the window to the batch
+        that triggered it. Without this, a fit right after a regime
+        change mixes old- and new-regime samples, which misestimates the
+        survival ``Pr(X > d)`` and therefore the budget-consistent ``q``
+        — the live serving layer turns this on.
     """
 
     def __init__(
@@ -163,6 +183,7 @@ class OnlinePolicyController:
         window: int = 50_000,
         use_correlation: bool = True,
         min_pairs_for_correlation: int = 50,
+        truncate_window_on_drift: bool = False,
     ):
         if not 0.0 < percentile < 1.0:
             raise ValueError("percentile must be in (0, 1)")
@@ -178,6 +199,7 @@ class OnlinePolicyController:
         self.learning_rate = float(learning_rate)
         self.use_correlation = use_correlation
         self.min_pairs_for_correlation = int(min_pairs_for_correlation)
+        self.truncate_window_on_drift = bool(truncate_window_on_drift)
         self.log = SlidingWindowLog(window)
         self.drift = DriftDetector(threshold=drift_threshold)
         self.policy = SingleR(0.0, self.budget)  # §4.3 starting point
@@ -193,6 +215,9 @@ class OnlinePolicyController:
 
         drifted = self.drift.update(primary)
         if drifted:
+            if self.truncate_window_on_drift:
+                n_pairs = 0 if pair_x is None else np.asarray(pair_x).size
+                self.log.keep_last(int(primary.size), keep_pairs=int(n_pairs))
             self._refit(reason="drift", damped=False)
         elif self._since_refit >= self.refit_interval:
             self._refit(reason="batch", damped=True)
@@ -205,7 +230,11 @@ class OnlinePolicyController:
             return compute_optimal_singler_correlated(
                 rx, px, py, self.percentile, self.budget
             )
-        ry = py if py.size else rx
+        # Too few pairs to estimate the reissue distribution on its own
+        # (e.g. right after a drift truncation kept only the triggering
+        # batch's probes): fall back to ry = rx rather than fitting
+        # Pr(Y <= t - d) tails from a handful of draws.
+        ry = py if py.size >= self.min_pairs_for_correlation else rx
         return compute_optimal_singler(rx, ry, self.percentile, self.budget)
 
     def _refit(self, reason: str, damped: bool) -> None:

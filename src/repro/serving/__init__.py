@@ -1,0 +1,52 @@
+"""Online hedging runtime: the paper's policies in a live request path.
+
+Everything else in this repository evaluates reissue policies inside the
+offline discrete-event simulator. :mod:`repro.serving` is the production
+side of that coin — an asyncio runtime that executes
+:class:`repro.core.policies.ReissuePolicy` objects against *live*,
+pluggable asynchronous backends:
+
+* :mod:`~repro.serving.backends` — the :class:`AsyncBackend` protocol and
+  adapters over the Redis set-intersection and Lucene search substrates
+  plus synthetic :class:`~repro.distributions.base.Distribution`-driven
+  (optionally drifting) backends.
+* :mod:`~repro.serving.hedge` — :class:`HedgedClient`, the concurrent
+  request path: primary dispatch, policy-armed reissue timers,
+  first-response-wins cancellation, deadlines and admission control.
+* :mod:`~repro.serving.metrics` — streaming telemetry on the t-digest and
+  P² sketches (live p50/p99/p99.9, reissue rate, cancellation wins).
+* :mod:`~repro.serving.autotune` — feeds observed samples back into
+  :class:`repro.core.online.OnlinePolicyController` so the running policy
+  re-fits under drift.
+* :mod:`~repro.serving.cli` — the ``repro-serve`` console entry point.
+"""
+
+from .autotune import AutoTuner
+from .backends import (
+    AsyncBackend,
+    BackendResponse,
+    DriftingBackend,
+    RedisBackend,
+    SearchBackend,
+    SimulatedBackend,
+    SyntheticBackend,
+    WorkloadBackend,
+)
+from .hedge import HedgedClient, RequestOutcome
+from .metrics import MetricsSnapshot, ServingMetrics
+
+__all__ = [
+    "AsyncBackend",
+    "AutoTuner",
+    "BackendResponse",
+    "DriftingBackend",
+    "HedgedClient",
+    "MetricsSnapshot",
+    "RedisBackend",
+    "RequestOutcome",
+    "SearchBackend",
+    "ServingMetrics",
+    "SimulatedBackend",
+    "SyntheticBackend",
+    "WorkloadBackend",
+]

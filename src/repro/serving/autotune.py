@@ -1,0 +1,148 @@
+"""Closed-loop policy adaptation for the live hedging runtime.
+
+:class:`AutoTuner` is the glue the docstring of :mod:`repro.core.online`
+promises: it stands between a :class:`~repro.serving.hedge.HedgedClient`
+and an :class:`~repro.core.online.OnlinePolicyController`, turning raw
+request outcomes into the unbiased observation stream the controller
+expects, and exposing the controller's current :class:`SingleR` back to
+the client as *the* policy for subsequent requests.
+
+Sample hygiene matters here. A hedged request's observed latency is
+``min(X, d + Y)`` — feeding that to the fitter would bias the primary
+distribution low. The tuner therefore only learns from:
+
+* **probe pairs** ``(x, y)`` — both attempts ran to completion, so both
+  are full, uncensored draws; and
+* requests whose drawn plan was *empty* (the stage coins all failed).
+  The coins are flipped independently of the service time, so these are
+  unbiased draws of the primary distribution ``X`` — a free importance
+  sample worth ``(1 - q)`` of the traffic.
+
+Deadline-expired requests are censored and excluded — except probes,
+whose attempts both ran to completion and are fully observed even when
+they missed the SLA.
+
+Known tradeoff: controller refits run synchronously on the event loop
+(inside ``record``), so a refit over a large window briefly pauses timer
+dispatch. At the default window sizes a refit is a few milliseconds of
+numpy work; workloads needing larger windows should lower
+``refit_interval`` pressure or refit off-path.
+"""
+
+from __future__ import annotations
+
+from ..core.online import OnlinePolicyController
+from ..core.policies import ReissuePolicy, SingleR
+
+
+class AutoTuner:
+    """Feed live request outcomes into an on-line policy controller.
+
+    Parameters
+    ----------
+    percentile, budget:
+        Optimization target, as in the offline fitters (e.g. ``0.99`` at
+        a 5% reissue budget).
+    batch_size:
+        Observations buffered between controller feeds; small batches
+        track drift faster at slightly more fitting work.
+    controller:
+        Bring your own (pre-configured) controller; by default one is
+        built from ``percentile`` / ``budget`` and ``controller_kwargs``.
+    initial_policy:
+        Policy served before the first refit (default: the controller's
+        §4.3 cold-start ``SingleR(0, budget)``).
+    """
+
+    def __init__(
+        self,
+        percentile: float = 0.99,
+        budget: float = 0.05,
+        *,
+        batch_size: int = 500,
+        controller: OnlinePolicyController | None = None,
+        initial_policy: ReissuePolicy | None = None,
+        **controller_kwargs,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if controller is None:
+            # Serving default: after a drift refit, fit only the regime
+            # that triggered it — mixed-regime windows misprice q.
+            controller_kwargs.setdefault("truncate_window_on_drift", True)
+            controller = OnlinePolicyController(
+                percentile=percentile, budget=budget, **controller_kwargs
+            )
+        elif controller_kwargs:
+            raise ValueError(
+                "pass controller_kwargs only when the tuner builds the "
+                "controller itself"
+            )
+        self.controller = controller
+        self.batch_size = int(batch_size)
+        self._initial_policy = (
+            initial_policy
+            if initial_policy is not None
+            else SingleR(0.0, controller.budget)
+        )
+        self._primary: list[float] = []
+        self._pair_x: list[float] = []
+        self._pair_y: list[float] = []
+        self.samples_used = 0
+        self.samples_discarded = 0
+
+    # -- the policy the client serves with ----------------------------------
+    @property
+    def policy(self) -> ReissuePolicy:
+        """Current policy: the controller's once it has refit at least
+        once, the initial policy before that."""
+        if self.controller.n_refits > 0:
+            return self.controller.policy
+        return self._initial_policy
+
+    @property
+    def n_refits(self) -> int:
+        return self.controller.n_refits
+
+    @property
+    def events(self):
+        return self.controller.events
+
+    # -- observation intake --------------------------------------------------
+    def record(self, outcome) -> None:
+        """Fold one :class:`RequestOutcome` into the learning buffers."""
+        if outcome.deadline_exceeded and outcome.pair is None:
+            # Censored at the deadline. (Probes are exempt: both their
+            # attempts ran to completion, so the pair is fully observed
+            # even when it missed the SLA.)
+            self.samples_discarded += 1
+            return
+        if outcome.pair is not None:
+            x, y = outcome.pair
+            self._primary.append(float(x))
+            self._pair_x.append(float(x))
+            self._pair_y.append(float(y))
+            self.samples_used += 1
+        elif outcome.n_planned == 0:
+            # No stage coin succeeded: the request ran unhedged, so its
+            # latency is a full draw of the primary distribution.
+            self._primary.append(float(outcome.latency_ms))
+            self.samples_used += 1
+        else:
+            self.samples_discarded += 1  # censored by the hedge race
+        if len(self._primary) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered observations into the controller now."""
+        if not self._primary:
+            return
+        if self._pair_x:
+            self.controller.observe(
+                self._primary, self._pair_x, self._pair_y
+            )
+        else:
+            self.controller.observe(self._primary)
+        self._primary.clear()
+        self._pair_x.clear()
+        self._pair_y.clear()

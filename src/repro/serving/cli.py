@@ -1,0 +1,204 @@
+"""``repro-serve``: run the live hedging runtime from the command line.
+
+Examples
+--------
+::
+
+    repro-serve --backend drifting --policy auto --requests 4000
+    repro-serve --backend search --policy singler --delay 60 --prob 0.4
+    repro-serve --backend synthetic --policy none --requests 2000 \
+        --time-scale 1e-4 --report-every 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+import numpy as np
+
+from ..core.policies import ImmediateReissue, NoReissue, SingleD, SingleR
+from ..distributions import LogNormal
+from .autotune import AutoTuner
+from .backends import (
+    DriftingBackend,
+    RedisBackend,
+    SearchBackend,
+    SyntheticBackend,
+)
+from .hedge import HedgedClient
+
+BACKENDS = ("synthetic", "drifting", "redis", "search")
+POLICIES = ("auto", "none", "singler", "singled", "immediate")
+
+
+def build_backend(args, rng) -> object:
+    dist = LogNormal(mu=args.lognormal_mu, sigma=args.lognormal_sigma)
+    if args.backend == "synthetic":
+        return SyntheticBackend(dist, time_scale=args.time_scale, rng=rng)
+    if args.backend == "drifting":
+        # Latency regime doubles for the middle half of the stream, then
+        # recovers — the §4.4 drift scenario in miniature.
+        n = args.requests
+        schedule = ((0, 1.0), (n // 4, 2.0), (3 * n // 4, 1.0))
+        return DriftingBackend(
+            dist, schedule, time_scale=args.time_scale, rng=rng
+        )
+    if args.backend == "redis":
+        return RedisBackend(time_scale=args.time_scale, rng=rng)
+    if args.backend == "search":
+        return SearchBackend(time_scale=args.time_scale, rng=rng)
+    raise ValueError(f"unknown backend {args.backend!r}")
+
+
+def build_policy_and_tuner(args):
+    if args.policy == "auto":
+        tuner = AutoTuner(
+            percentile=args.percentile,
+            budget=args.budget,
+            batch_size=args.batch_size,
+            refit_interval=args.refit_interval,
+        )
+        return None, tuner
+    if args.policy == "none":
+        return NoReissue(), None
+    if args.policy == "immediate":
+        return ImmediateReissue(), None
+    if args.policy == "singled":
+        return SingleD(args.delay), None
+    if args.policy == "singler":
+        return SingleR(args.delay, args.prob), None
+    raise ValueError(f"unknown policy {args.policy!r}")
+
+
+async def serve_stream(client: HedgedClient, args) -> None:
+    served = 0
+    while served < args.requests:
+        chunk = min(args.report_every, args.requests - served)
+        await client.serve(
+            chunk,
+            interarrival_ms=args.interarrival_ms,
+            poisson=args.interarrival_ms > 0.0,
+            start_id=served,
+        )
+        served += chunk
+        snap = client.metrics.snapshot()
+        policy = client.policy
+        print(f"-- after {served} requests  (policy {policy!r})")
+        print(snap.render())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve a live request stream through a reissue policy "
+            "(hedging runtime for 'Optimal Reissue Policies for Reducing "
+            "Tail Latency', SPAA 2017)."
+        ),
+    )
+    parser.add_argument("--backend", choices=BACKENDS, default="drifting")
+    parser.add_argument("--policy", choices=POLICIES, default="auto")
+    parser.add_argument("--requests", type=int, default=4_000)
+    parser.add_argument("--concurrency", type=int, default=64)
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument(
+        "--budget", type=float, default=0.05, help="reissue budget (auto)"
+    )
+    parser.add_argument(
+        "--percentile", type=float, default=0.99, help="target tail (auto)"
+    )
+    parser.add_argument("--delay", type=float, default=50.0)
+    parser.add_argument("--prob", type=float, default=0.5)
+    # Must be >= DriftDetector.min_samples (500): the KS detector ignores
+    # smaller batches, which would silently kill drift-triggered refits.
+    parser.add_argument("--batch-size", type=int, default=500)
+    parser.add_argument("--refit-interval", type=int, default=1_000)
+    parser.add_argument(
+        "--probe-fraction",
+        type=float,
+        default=0.02,
+        help="fraction of requests served as measurement probes",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=2e-4,
+        help="wall seconds per model millisecond",
+    )
+    parser.add_argument(
+        "--interarrival-ms",
+        type=float,
+        default=0.0,
+        help="mean Poisson interarrival gap in model ms (0 = closed burst)",
+    )
+    parser.add_argument("--report-every", type=int, default=1_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--lognormal-mu", type=float, default=3.0, help="synthetic backends"
+    )
+    parser.add_argument(
+        "--lognormal-sigma", type=float, default=0.8, help="synthetic backends"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    args = build_parser().parse_args(argv)
+
+    if args.requests < 1:
+        print("--requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.report_every < 1:
+        print("--report-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.policy == "auto":
+        from ..core.online import DriftDetector
+
+        min_samples = DriftDetector().min_samples
+        if args.batch_size < min_samples:
+            print(
+                f"warning: --batch-size {args.batch_size} is below the "
+                f"drift detector's minimum sample count ({min_samples}); "
+                "drift-triggered refits will never fire, only damped "
+                "interval refits.",
+                file=sys.stderr,
+            )
+
+    # Independent streams for the backend (service times) and the client
+    # (policy coins, probe selection): seeding both with the same integer
+    # would couple hedging decisions to the latency draws they race.
+    backend_seq, client_seq = np.random.SeedSequence(args.seed).spawn(2)
+    backend = build_backend(args, np.random.default_rng(backend_seq))
+    policy, tuner = build_policy_and_tuner(args)
+    client = HedgedClient(
+        backend,
+        policy,
+        concurrency=args.concurrency,
+        deadline_ms=args.deadline_ms,
+        probe_fraction=args.probe_fraction,
+        tuner=tuner,
+        rng=np.random.default_rng(client_seq),
+    )
+
+    asyncio.run(serve_stream(client, args))
+
+    snap = client.metrics.snapshot()
+    print("== final ==")
+    print(snap.render())
+    if tuner is not None:
+        tuner.flush()
+        print(
+            f"  policy refits        {tuner.n_refits:>10d}"
+            f"  (final {client.policy!r})"
+        )
+    print(f"  peak concurrency     {client.peak_in_flight:>10d}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

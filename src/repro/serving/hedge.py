@@ -1,0 +1,348 @@
+"""The hedged request path: policies executed on a live event loop.
+
+:class:`HedgedClient` is what the paper calls the *reissue client* (§6.1),
+built as an asyncio runtime instead of a simulator event queue:
+
+1. dispatch the primary attempt to an :class:`AsyncBackend`;
+2. arm one timer per policy stage ``(d_i, q_i)`` whose coin succeeded
+   (the coins are flipped up-front via ``ReissuePolicy.draw_plan``,
+   exactly as the simulator does);
+3. when a timer fires before any response, dispatch a reissue attempt;
+4. on the first response, cancel every other outstanding attempt;
+5. enforce an optional per-request deadline and a concurrency-limit
+   semaphore (admission control) around the whole race.
+
+Latencies are accounted in *model milliseconds*: a completed request's
+latency is ``dispatch_offset + backend latency`` of the winning attempt,
+so recorded numbers match the paper's analytic model ``min(X, d + Y)``
+rather than wall-clock scheduler noise, while the concurrency, timer and
+cancellation behavior is genuinely asynchronous.
+
+A small ``probe_fraction`` of requests can be turned into *measurement
+probes*: primary plus immediate duplicate, both allowed to finish. These
+yield the ``(pair_x, pair_y)`` samples the correlated optimizer and the
+:class:`~repro.serving.autotune.AutoTuner` need — the live analogue of
+the paper's Figure 4 probe runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..core.policies import NoReissue, ReissuePolicy
+from ..distributions.base import RngLike, as_rng
+from .backends import AsyncBackend, BackendResponse
+from .metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Everything observed about one served request."""
+
+    query_id: int
+    latency_ms: float
+    winner: str  # "primary" | "reissue" | "none" (deadline miss)
+    n_planned: int  # stages whose coin succeeded for this request
+    n_reissues: int  # reissue attempts actually dispatched
+    cancelled_attempts: int
+    deadline_exceeded: bool = False
+    pair: tuple[float, float] | None = None  # probe (primary, reissue) ms
+    response: BackendResponse | None = None
+
+    @property
+    def hedged(self) -> bool:
+        return self.n_reissues > 0
+
+
+class HedgedClient:
+    """Serve requests through a reissue policy against an async backend.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`AsyncBackend`.
+    policy:
+        The reissue policy to execute (default: :class:`NoReissue`). When
+        ``tuner`` is given, the tuner's current policy wins.
+    concurrency:
+        Admission-control limit on simultaneously served *requests*
+        (each request may hold up to ``1 + n_stages`` backend attempts).
+    deadline_ms:
+        Optional per-request deadline in model ms; on expiry every
+        outstanding attempt is cancelled and the request is recorded at
+        the deadline latency.
+    probe_fraction:
+        Fraction of requests served as measurement probes (see module
+        docstring).
+    """
+
+    def __init__(
+        self,
+        backend: AsyncBackend,
+        policy: ReissuePolicy | None = None,
+        *,
+        concurrency: int = 64,
+        deadline_ms: float | None = None,
+        probe_fraction: float = 0.0,
+        metrics: ServingMetrics | None = None,
+        tuner=None,
+        rng: RngLike = None,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if deadline_ms is not None and deadline_ms <= 0.0:
+            raise ValueError("deadline_ms must be > 0")
+        if not 0.0 <= probe_fraction < 1.0:
+            raise ValueError("probe_fraction must be in [0, 1)")
+        self.backend = backend
+        self._policy = policy if policy is not None else NoReissue()
+        self.concurrency = int(concurrency)
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        self.probe_fraction = float(probe_fraction)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.tuner = tuner
+        self._rng = as_rng(rng)
+        self._sem = asyncio.Semaphore(self.concurrency)
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    # -- policy -------------------------------------------------------------
+    @property
+    def policy(self) -> ReissuePolicy:
+        """The policy for the *next* request (live view of the tuner's)."""
+        if self.tuner is not None:
+            return self.tuner.policy
+        return self._policy
+
+    @policy.setter
+    def policy(self, new_policy: ReissuePolicy) -> None:
+        if self.tuner is not None:
+            # The getter would keep returning tuner.policy, silently
+            # discarding this assignment.
+            raise RuntimeError(
+                "client is autotuned; set client.tuner = None first to "
+                "pin a manual policy"
+            )
+        self._policy = new_policy
+
+    # -- request path -------------------------------------------------------
+    async def request(self, query_id: int) -> RequestOutcome:
+        """Serve one request end to end (admission → race → telemetry)."""
+        async with self._sem:
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            try:
+                is_probe = (
+                    self.probe_fraction > 0.0
+                    and self._rng.random() < self.probe_fraction
+                )
+                if is_probe:
+                    outcome = await self._probe(query_id)
+                else:
+                    plan = tuple(sorted(self.policy.draw_plan(self._rng)))
+                    outcome = await self._race(query_id, plan)
+            finally:
+                self.in_flight -= 1
+        self.metrics.record(outcome)
+        if self.tuner is not None:
+            self.tuner.record(outcome)
+        return outcome
+
+    async def serve(
+        self,
+        n_requests: int,
+        *,
+        interarrival_ms: float = 0.0,
+        poisson: bool = False,
+        start_id: int = 0,
+    ) -> list[RequestOutcome]:
+        """Serve an open-loop stream of ``n_requests`` requests.
+
+        Arrivals are spaced ``interarrival_ms`` apart (exponential gaps
+        when ``poisson``); the admission semaphore, not the arrival loop,
+        bounds concurrency. Returns outcomes in request order. If any
+        request fails (every attempt errored), the stream still runs to
+        completion — no sibling request is abandoned — and the first
+        failure is re-raised once all requests have settled.
+        """
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        scale = self.backend.time_scale
+        tasks = []
+        for i in range(n_requests):
+            tasks.append(asyncio.create_task(self.request(start_id + i)))
+            if interarrival_ms > 0.0:
+                gap = (
+                    float(self._rng.exponential(interarrival_ms))
+                    if poisson
+                    else interarrival_ms
+                )
+                await asyncio.sleep(gap * scale)
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        for r in results:
+            if isinstance(r, BaseException):
+                raise r
+        return list(results)
+
+    # -- internals ----------------------------------------------------------
+    async def _race(
+        self, query_id: int, plan: tuple[float, ...]
+    ) -> RequestOutcome:
+        loop = asyncio.get_running_loop()
+        scale = self.backend.time_scale
+        t0 = loop.time()
+        # At time_scale == 0 every model duration collapses to zero wall
+        # time, so a wall-clock deadline is meaningless (it would expire
+        # instantly and skip every stage); deadlines are disabled there.
+        deadline_wall = (
+            None
+            if self.deadline_ms is None or scale <= 0.0
+            else t0 + self.deadline_ms * scale
+        )
+        offsets: dict[asyncio.Task, float] = {}
+
+        def launch(offset: float, is_reissue: bool) -> None:
+            task = asyncio.create_task(
+                self.backend.request(query_id, is_reissue=is_reissue)
+            )
+            offsets[task] = offset
+            pending.add(task)
+
+        pending: set[asyncio.Task] = set()
+        responded: set[asyncio.Task] = set()
+        errors: list[BaseException] = []
+        launch(0.0, is_reissue=False)
+        n_reissues = 0
+
+        async def wait_until(when: float | None) -> None:
+            """Drain completions until one attempt *responds*, the wall
+            clock reaches ``when``, or no attempt is left. A failed
+            attempt is dropped from the race (hedging exists to survive
+            exactly that) rather than crowned winner or left to leak."""
+            while pending and not responded:
+                timeout = (
+                    None if when is None else max(when - loop.time(), 0.0)
+                )
+                done, _ = await asyncio.wait(
+                    pending,
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    return  # timer expired
+                for task in done:
+                    pending.discard(task)
+                    if task.exception() is None:
+                        responded.add(task)
+                    else:
+                        errors.append(task.exception())
+
+        # At time_scale <= 0 the stage timers are as meaningless as the
+        # deadline: every timer would expire "instantly", dispatching a
+        # reissue on virtually every coin-success regardless of d and
+        # inflating the measured spend from q*Pr(X>d) to ~q. Hedging
+        # timers are disabled there (throughput-benchmark mode).
+        for d in plan if scale > 0.0 else ():
+            if deadline_wall is not None and t0 + d * scale >= deadline_wall:
+                break  # this stage would fire after the deadline
+            await wait_until(t0 + d * scale)
+            if responded:
+                break
+            launch(d, is_reissue=True)
+            n_reissues += 1
+
+        if not responded:
+            await wait_until(deadline_wall)
+
+        if not responded:
+            cancelled = await self._cancel_losers(pending)
+            if pending:  # deadline expired with attempts outstanding
+                return RequestOutcome(
+                    query_id=query_id,
+                    latency_ms=float(self.deadline_ms),
+                    winner="none",
+                    n_planned=len(plan),
+                    n_reissues=n_reissues,
+                    cancelled_attempts=cancelled,
+                    deadline_exceeded=True,
+                )
+            raise errors[-1]  # every attempt failed: surface the error
+
+        # The race winner: among attempts that responded, the one whose
+        # model completion time (dispatch offset + service latency) is
+        # earliest — wall-clock ties are resolved by the model.
+        winner_task = min(
+            responded, key=lambda t: offsets[t] + t.result().latency_ms
+        )
+        resp = winner_task.result()
+        latency = offsets[winner_task] + resp.latency_ms
+        cancelled = await self._cancel_losers(pending)
+        return RequestOutcome(
+            query_id=query_id,
+            latency_ms=float(latency),
+            winner="reissue" if resp.is_reissue else "primary",
+            n_planned=len(plan),
+            n_reissues=n_reissues,
+            cancelled_attempts=cancelled,
+            response=resp,
+        )
+
+    async def _probe(self, query_id: int) -> RequestOutcome:
+        """Primary + immediate duplicate, both run to completion.
+
+        Probes are never cancelled (their whole point is two complete
+        observations), but SLA accounting still applies: a probe whose
+        fastest attempt misses the deadline is recorded at the deadline
+        latency and counted as a miss, like any other request.
+        """
+        primary, duplicate = await asyncio.gather(
+            self.backend.request(query_id),
+            self.backend.request(query_id, is_reissue=True),
+            return_exceptions=True,
+        )
+        for attempt in (primary, duplicate):
+            # Both attempts have settled (gather waited for both), so
+            # re-raising here leaks nothing.
+            if isinstance(attempt, BaseException):
+                raise attempt
+        x, y = primary.latency_ms, duplicate.latency_ms
+        latency = float(min(x, y))
+        # Deadlines are disabled at time_scale <= 0 (see _race); probes
+        # must account identically or miss counts would depend on which
+        # requests were randomly probed.
+        missed = (
+            self.deadline_ms is not None
+            and self.backend.time_scale > 0.0
+            and latency > self.deadline_ms
+        )
+        if missed:
+            # Consistent with the race path: a miss has no winner (and
+            # must not count as a cancellation win in the metrics).
+            winner, response = "none", None
+        else:
+            winner = "primary" if x <= y else "reissue"
+            response = primary if x <= y else duplicate
+        return RequestOutcome(
+            query_id=query_id,
+            latency_ms=float(self.deadline_ms) if missed else latency,
+            winner=winner,
+            n_planned=1,
+            n_reissues=1,
+            cancelled_attempts=0,
+            deadline_exceeded=missed,
+            pair=(float(x), float(y)),
+            response=response,
+        )
+
+    @staticmethod
+    async def _cancel_losers(pending) -> int:
+        """Cancel every still-outstanding attempt; returns how many were
+        cancelled (reaped before returning, so backend in-flight counts
+        are settled when the outcome is recorded)."""
+        losers = [t for t in pending if not t.done()]
+        for t in losers:
+            t.cancel()
+        if losers:
+            await asyncio.gather(*losers, return_exceptions=True)
+        return len(losers)

@@ -139,7 +139,14 @@ class TDigest:
             return float(self._means[-1])
         idx = int(np.searchsorted(cum, target) - 1)
         frac = (target - cum[idx]) / (cum[idx + 1] - cum[idx])
-        return float(self._means[idx] + frac * (self._means[idx + 1] - self._means[idx]))
+        value = float(
+            self._means[idx] + frac * (self._means[idx + 1] - self._means[idx])
+        )
+        # Centroid means are computed incrementally; catastrophic
+        # cancellation can nudge an interpolated value just past the
+        # observed extremes (e.g. exactly 0.0 from all-negative tiny
+        # inputs). Quantiles must stay within the observed range.
+        return float(min(max(value, self._min), self._max))
 
     def percentile(self, k: float) -> float:
         return self.quantile(k / 100.0)

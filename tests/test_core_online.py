@@ -184,3 +184,161 @@ class TestOnlineController:
         for _ in range(6):
             c.observe(lognormal_batch(rng, 1000, mu=2.0))  # e^1 ~ 2.7x slower
         assert c.policy.delay > delay_before * 1.5
+
+
+def hedged_latencies(policy, x, y, rng):
+    """Observed completion times min(X, d + Y) under SingleR semantics:
+    the reissue fires only when the coin succeeds and X > d."""
+    d, q = policy.delay, policy.prob
+    fired = (rng.random(x.size) < q) & (x > d)
+    return np.where(fired, np.minimum(x, d + y), x)
+
+
+class TestWindowTruncation:
+    def test_keep_last_trims_primary_and_clears_pairs(self):
+        log = SlidingWindowLog(capacity=1000)
+        log.extend(np.arange(500, dtype=float),
+                   pair_x=[1.0, 2.0], pair_y=[3.0, 4.0])
+        log.keep_last(100)
+        assert len(log) == 100
+        assert log.primary()[0] == 400.0
+        assert log.n_pairs == 0
+
+    def test_keep_last_validates(self):
+        log = SlidingWindowLog(capacity=1000)
+        with pytest.raises(ValueError):
+            log.keep_last(-1)
+        with pytest.raises(ValueError):
+            log.keep_last(10, keep_pairs=-1)
+
+    def test_keep_last_can_retain_recent_pairs(self):
+        log = SlidingWindowLog(capacity=1000)
+        log.extend(np.arange(500, dtype=float),
+                   pair_x=[1.0, 2.0, 3.0], pair_y=[4.0, 5.0, 6.0])
+        log.keep_last(100, keep_pairs=2)
+        assert log.n_pairs == 2
+        px, py = log.pairs()
+        assert px.tolist() == [2.0, 3.0] and py.tolist() == [5.0, 6.0]
+
+    def test_drift_truncation_keeps_triggering_batch_pairs(self):
+        # Pairs delivered with the batch that trips the detector are
+        # new-regime evidence: the undamped refit must keep them so the
+        # correlated fitter stays armed.
+        rng = np.random.default_rng(3)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.2, refit_interval=50_000,
+            drift_threshold=0.12, truncate_window_on_drift=True,
+        )
+        for _ in range(3):
+            c.observe(lognormal_batch(rng, 1000, mu=1.0),
+                      pair_x=np.full(10, 2.0), pair_y=np.full(10, 3.0))
+        fresh_x = rng.lognormal(2.5, 1.0, 40)
+        c.observe(lognormal_batch(rng, 1000, mu=2.5),
+                  pair_x=fresh_x, pair_y=fresh_x * 1.1)
+        assert [e.reason for e in c.events] == ["drift"]
+        assert len(c.log) == 1000
+        assert c.log.n_pairs == 40  # old pairs gone, fresh batch kept
+
+    def test_fit_ignores_pair_slivers_below_correlation_floor(self):
+        # A handful of surviving pairs must not be used as the reissue
+        # sample on their own — the fit falls back to ry = rx.
+        from repro.core.optimizer import compute_optimal_singler
+
+        rng = np.random.default_rng(5)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.2, refit_interval=50_000,
+            min_pairs_for_correlation=50,
+        )
+        rx = lognormal_batch(rng, 2000)
+        c.observe(rx, pair_x=rng.lognormal(1, 1, 10),
+                  pair_y=rng.lognormal(1, 1, 10))
+        fit = c._fit()
+        expected = compute_optimal_singler(
+            c.log.primary(), c.log.primary(), 0.95, 0.2
+        )
+        assert fit.delay == pytest.approx(expected.delay)
+
+    def test_drift_refit_truncates_window_when_enabled(self):
+        rng = np.random.default_rng(3)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.2, refit_interval=50_000,
+            drift_threshold=0.12, truncate_window_on_drift=True,
+        )
+        for _ in range(3):
+            c.observe(lognormal_batch(rng, 1000, mu=1.0))
+        c.observe(lognormal_batch(rng, 1000, mu=2.5))  # drift fires
+        assert [e.reason for e in c.events] == ["drift"]
+        # Only the triggering batch survives: the fit saw the new regime.
+        assert len(c.log) == 1000
+
+    def test_default_keeps_full_window_on_drift(self):
+        rng = np.random.default_rng(3)
+        c = OnlinePolicyController(
+            percentile=0.95, budget=0.2, refit_interval=50_000,
+            drift_threshold=0.12,
+        )
+        for _ in range(3):
+            c.observe(lognormal_batch(rng, 1000, mu=1.0))
+        c.observe(lognormal_batch(rng, 1000, mu=2.5))
+        assert [e.reason for e in c.events] == ["drift"]
+        assert len(c.log) == 4000
+
+
+class TestDriftLowersAchievedTail:
+    """Satellite acceptance: a mid-stream distribution shift must trigger
+    an undamped drift refit, and the adapted policy must achieve a lower
+    tail on the new regime than the policy frozen before the shift."""
+
+    PCT, BUDGET = 0.95, 0.2
+
+    def test_drift_refit_is_undamped_and_beats_frozen_policy(self):
+        rng = np.random.default_rng(42)
+        c = OnlinePolicyController(
+            percentile=self.PCT, budget=self.BUDGET,
+            refit_interval=2_000, learning_rate=0.5,
+            drift_threshold=0.12, window=20_000,
+            truncate_window_on_drift=True,
+        )
+        # Phase 1: slow regime — let the controller fit it.
+        slow = dict(mu=np.log(60.0), sigma=0.7)
+        for _ in range(4):
+            c.observe(lognormal_batch(rng, 1000, **slow))
+        frozen = c.policy
+        assert frozen.delay > 0.0
+        refits_before = c.n_refits
+
+        # Phase 2: the service gets 3x faster mid-stream.
+        fast = dict(mu=np.log(20.0), sigma=0.7)
+        for _ in range(4):
+            c.observe(lognormal_batch(rng, 1000, **fast))
+
+        drift_events = [e for e in c.events[refits_before:]
+                        if e.reason == "drift"]
+        assert drift_events, "shift did not trigger a drift refit"
+        ev = drift_events[-1]
+        # Undamped: the installed delay IS the fit's delay, with no
+        # learning-rate pull toward the stale policy.
+        assert ev.policy.delay == pytest.approx(ev.fit.delay)
+
+        adapted = c.policy
+        assert adapted.delay < frozen.delay  # tracked the speed-up
+
+        # Achieved tail on the new regime: the frozen policy reissues far
+        # too late and degenerates to the no-reissue baseline; the
+        # adapted policy actually cuts the tail.
+        eval_rng = np.random.default_rng(777)
+        x = eval_rng.lognormal(fast["mu"], fast["sigma"], 40_000)
+        y = eval_rng.lognormal(fast["mu"], fast["sigma"], 40_000)
+        tail_frozen = float(np.quantile(
+            hedged_latencies(frozen, x, y, np.random.default_rng(1)),
+            self.PCT,
+        ))
+        tail_adapted = float(np.quantile(
+            hedged_latencies(adapted, x, y, np.random.default_rng(1)),
+            self.PCT,
+        ))
+        assert tail_adapted < tail_frozen
+
+        # And the adapted policy still honors the reissue budget.
+        spend = adapted.prob * float((x > adapted.delay).mean())
+        assert spend <= self.BUDGET * 1.15

@@ -41,6 +41,15 @@ def test_online_drift_adaptation_runs(capsys):
     assert "refits over 2 days" in out
 
 
+def test_live_hedging_service_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "live_hedging_service.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "drift refits: " in out
+    assert "lower than no-hedging" in out
+
+
 def test_offline_trace_fitting_runs(capsys):
     runpy.run_path(
         str(EXAMPLES / "offline_trace_fitting.py"), run_name="__main__"
@@ -58,6 +67,7 @@ def test_offline_trace_fitting_runs(capsys):
         "offline_trace_fitting.py",
         "redis_tail_taming.py",
         "search_sla_planning.py",
+        "live_hedging_service.py",
     ],
 )
 def test_examples_compile(name):

@@ -108,6 +108,10 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig2" in out and "fig9" in out
+        # Each entry carries its one-line docstring summary, not the
+        # module basename.
+        assert "Figure 2: load perturbation" in out
+        assert "Figure 9: service-time distributions" in out
 
     def test_unknown_experiment(self, capsys):
         from repro.cli import main

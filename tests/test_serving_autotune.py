@@ -1,0 +1,233 @@
+"""Tests for the serving autotuner, including the end-to-end acceptance
+scenario: a drifting synthetic backend served through HedgedClient with
+autotuning beats NoReissue's p99 while keeping the measured policy
+reissue spend near the configured budget."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlinePolicyController
+from repro.core.policies import NoReissue, SingleD, SingleR
+from repro.distributions import LogNormal
+from repro.serving import (
+    AutoTuner,
+    DriftingBackend,
+    HedgedClient,
+    SyntheticBackend,
+)
+from repro.serving.hedge import RequestOutcome
+
+
+def outcome(latency=10.0, n_planned=0, n_reissues=0, deadline=False, pair=None):
+    return RequestOutcome(
+        query_id=0,
+        latency_ms=latency,
+        winner="primary",
+        n_planned=n_planned,
+        n_reissues=n_reissues,
+        cancelled_attempts=0,
+        deadline_exceeded=deadline,
+        pair=pair,
+    )
+
+
+class TestSampleHygiene:
+    def test_unhedged_latency_is_learned(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1, batch_size=10)
+        for _ in range(9):
+            tuner.record(outcome(n_planned=0))
+        assert tuner.samples_used == 9
+        assert len(tuner.controller.log) == 0  # not flushed yet
+        tuner.record(outcome(n_planned=0))
+        assert len(tuner.controller.log) == 10  # flushed on batch boundary
+
+    def test_hedged_latency_is_censored(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1, batch_size=10)
+        tuner.record(outcome(n_planned=1, n_reissues=1))
+        assert tuner.samples_used == 0
+        assert tuner.samples_discarded == 1
+
+    def test_deadline_miss_is_discarded(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1, batch_size=10)
+        tuner.record(outcome(deadline=True))
+        assert tuner.samples_discarded == 1
+
+    def test_deadline_missing_probe_is_still_learned(self):
+        # A probe's attempts both completed: fully observed even when it
+        # missed the SLA.
+        tuner = AutoTuner(percentile=0.95, budget=0.1, batch_size=10)
+        tuner.record(
+            outcome(n_planned=1, n_reissues=1, deadline=True,
+                    pair=(80.0, 90.0))
+        )
+        assert tuner.samples_used == 1
+        assert tuner.samples_discarded == 0
+
+    def test_probe_contributes_pair_and_primary(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1, batch_size=2)
+        tuner.record(outcome(n_planned=1, n_reissues=1, pair=(8.0, 12.0)))
+        tuner.record(outcome(n_planned=1, n_reissues=1, pair=(9.0, 4.0)))
+        assert len(tuner.controller.log) == 2
+        assert tuner.controller.log.n_pairs == 2
+
+    def test_flush_empty_is_noop(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1)
+        tuner.flush()
+        assert len(tuner.controller.log) == 0
+
+
+class TestPolicyExposure:
+    def test_initial_policy_before_any_refit(self):
+        tuner = AutoTuner(
+            percentile=0.95, budget=0.1, initial_policy=SingleD(25.0)
+        )
+        assert tuner.policy == SingleD(25.0)
+
+    def test_default_initial_policy_is_cold_start_singler(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1)
+        assert isinstance(tuner.policy, SingleR)
+        assert tuner.policy.prob == pytest.approx(0.1)
+
+    def test_controller_policy_after_refit(self, rng):
+        tuner = AutoTuner(
+            percentile=0.95,
+            budget=0.1,
+            batch_size=300,
+            refit_interval=300,
+        )
+        for _ in range(3):
+            for x in rng.lognormal(3.0, 0.6, 300):
+                tuner.record(outcome(latency=float(x)))
+        assert tuner.n_refits >= 1
+        assert tuner.policy is tuner.controller.policy
+        assert tuner.policy.delay > 0.0
+
+    def test_custom_controller_conflicts_with_kwargs(self):
+        controller = OnlinePolicyController(percentile=0.95, budget=0.1)
+        with pytest.raises(ValueError):
+            AutoTuner(controller=controller, window=5_000)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            AutoTuner(batch_size=0)
+
+
+class TestLiveAutotuning:
+    def test_stationary_spend_tracks_budget(self):
+        # On a stationary workload the tuned policy's measured spend must
+        # settle near the configured budget.
+        budget = 0.15
+
+        async def go():
+            # time_scale large enough that model milliseconds dominate
+            # event-loop latency — at sub-ms wall sleeps the reissue
+            # timer wins races the model says it should lose, inflating
+            # the measured spend.
+            backend = SyntheticBackend(
+                LogNormal(mu=3.0, sigma=0.8), time_scale=2e-4, rng=5
+            )
+            tuner = AutoTuner(
+                percentile=0.99,
+                budget=budget,
+                batch_size=400,
+                refit_interval=400,
+            )
+            client = HedgedClient(
+                backend, tuner=tuner, probe_fraction=0.04, rng=6
+            )
+            await client.serve(3_000)
+            return client
+
+        client = asyncio.run(go())
+        rate = client.metrics.policy_reissue_rate
+        assert rate == pytest.approx(budget, abs=0.6 * budget)
+        assert client.tuner.n_refits >= 1
+
+    def test_drifting_backend_autotune_beats_noreissue(self):
+        # The acceptance scenario. Latency regime slows 2.5x a third of
+        # the way in; the tuner must (a) fire an undamped drift refit,
+        # (b) end with a policy matched to the new regime, and (c) beat
+        # the NoReissue baseline's p99 on the identical workload while
+        # spending a bounded reissue budget.
+        n = 4_000
+        budget = 0.15
+
+        def make_backend():
+            return DriftingBackend(
+                LogNormal(mu=3.0, sigma=0.8),
+                schedule=((0, 1.0), (n // 3, 2.5)),
+                time_scale=1e-4,
+                rng=7,
+            )
+
+        async def serve_hedged():
+            tuner = AutoTuner(
+                percentile=0.99,
+                budget=budget,
+                batch_size=500,
+                refit_interval=500,
+                drift_threshold=0.25,
+                window=10_000,
+            )
+            client = HedgedClient(
+                make_backend(),
+                tuner=tuner,
+                probe_fraction=0.05,
+                concurrency=48,
+                rng=11,
+            )
+            await client.serve(n)
+            return client
+
+        async def serve_baseline():
+            client = HedgedClient(
+                make_backend(), NoReissue(), concurrency=48, rng=11
+            )
+            await client.serve(n)
+            return client
+
+        hedged = asyncio.run(serve_hedged())
+        baseline = asyncio.run(serve_baseline())
+
+        p99_hedged = hedged.metrics.quantile(0.99)
+        p99_baseline = baseline.metrics.quantile(0.99)
+        assert p99_hedged < p99_baseline
+
+        # The drift refit fired, undamped: the policy it installed equals
+        # its fit exactly (no λ-damping toward the stale policy).
+        drift_events = [
+            e for e in hedged.tuner.events if e.reason == "drift"
+        ]
+        assert drift_events
+        ev = drift_events[-1]
+        assert ev.policy.delay == pytest.approx(ev.fit.delay)
+
+        # Spend stayed bounded: the configured budget plus the transient
+        # overspend between drift onset and the drift refit.
+        rate = hedged.metrics.policy_reissue_rate
+        assert 0.0 < rate <= 2.0 * budget
+
+        # The final policy is tuned to the slow regime, not the fast one.
+        assert hedged.policy.delay > 60.0
+
+    def test_autotuned_policy_beats_cold_start_tail(self):
+        # Even without drift, refitting beats the cold-start policy's d=0
+        # on tail latency at equal budget — the point of §4.3.
+        async def go(tuner):
+            backend = SyntheticBackend(
+                LogNormal(mu=3.0, sigma=0.8), time_scale=2e-5, rng=9
+            )
+            client = HedgedClient(
+                backend, tuner=tuner, probe_fraction=0.05, rng=10
+            )
+            await client.serve(2_500)
+            return client
+
+        tuner = AutoTuner(
+            percentile=0.99, budget=0.1, batch_size=400, refit_interval=400
+        )
+        client = asyncio.run(go(tuner))
+        assert tuner.n_refits >= 1
+        assert client.policy.delay > 0.0

@@ -1,0 +1,204 @@
+"""Tests for the async backend adapters of the serving runtime."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal
+from repro.serving.backends import (
+    AsyncBackend,
+    BackendResponse,
+    DriftingBackend,
+    RedisBackend,
+    SearchBackend,
+    SimulatedBackend,
+    SyntheticBackend,
+)
+from repro.systems.setstore import (
+    SetCorpusConfig,
+    SetIntersectionWorkload,
+    SetStore,
+)
+
+
+SMALL_CORPUS = SetCorpusConfig(n_sets=50, universe=20_000, max_cardinality=18_000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSyntheticBackend:
+    def test_implements_protocol(self):
+        be = SyntheticBackend(LogNormal(mu=2.0, sigma=0.5), time_scale=0.0)
+        assert isinstance(be, AsyncBackend)
+
+    def test_request_returns_response(self):
+        be = SyntheticBackend(
+            LogNormal(mu=2.0, sigma=0.5), time_scale=0.0, rng=1
+        )
+        resp = run(be.request(7))
+        assert isinstance(resp, BackendResponse)
+        assert resp.query_id == 7
+        assert resp.latency_ms > 0.0
+        assert not resp.is_reissue
+
+    def test_counters(self):
+        be = SyntheticBackend(
+            LogNormal(mu=2.0, sigma=0.5), time_scale=0.0, rng=1
+        )
+
+        async def go():
+            await asyncio.gather(*(be.request(i) for i in range(10)))
+
+        run(go())
+        assert be.started == be.completed == 10
+        assert be.cancelled == 0
+        assert be.in_flight == 0
+        assert be.peak_in_flight >= 1
+
+    def test_cancellation_counted(self):
+        be = SyntheticBackend(
+            LogNormal(mu=4.0, sigma=0.1), time_scale=1e-3, rng=1
+        )
+
+        async def go():
+            task = asyncio.create_task(be.request(0))
+            await asyncio.sleep(0.005)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(go())
+        assert be.cancelled == 1
+        assert be.completed == 0
+        assert be.in_flight == 0
+
+    def test_separate_reissue_distribution(self):
+        be = SyntheticBackend(
+            LogNormal(mu=5.0, sigma=0.01),
+            reissue=LogNormal(mu=1.0, sigma=0.01),
+            time_scale=0.0,
+            rng=1,
+        )
+        primary = run(be.request(0))
+        reissue = run(be.request(0, is_reissue=True))
+        assert primary.latency_ms > reissue.latency_ms
+
+    def test_negative_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticBackend(LogNormal(mu=2.0, sigma=0.5), time_scale=-1.0)
+
+
+class TestDriftingBackend:
+    def test_schedule_validation(self):
+        dist = LogNormal(mu=2.0, sigma=0.5)
+        with pytest.raises(ValueError):
+            DriftingBackend(dist, schedule=((5, 1.0),))  # must start at 0
+        with pytest.raises(ValueError):
+            DriftingBackend(dist, schedule=((0, -2.0),))
+
+    def test_scale_shifts_with_request_count(self):
+        dist = LogNormal(mu=2.0, sigma=0.3)
+        be = DriftingBackend(
+            dist, schedule=((0, 1.0), (10, 4.0)), time_scale=0.0, rng=3
+        )
+
+        async def go(n):
+            return [await be.request(i) for i in range(n)]
+
+        first = run(go(10))
+        assert be.current_scale() == 4.0
+        second = run(go(10))
+        m1 = np.mean([r.latency_ms for r in first])
+        m2 = np.mean([r.latency_ms for r in second])
+        assert m2 > 2.0 * m1  # 4x regime clearly visible
+
+    def test_reissues_do_not_advance_schedule(self):
+        dist = LogNormal(mu=2.0, sigma=0.3)
+        be = DriftingBackend(
+            dist, schedule=((0, 1.0), (3, 5.0)), time_scale=0.0, rng=3
+        )
+
+        async def go():
+            for _ in range(5):
+                await be.request(0, is_reissue=True)
+
+        run(go())
+        assert be.current_scale() == 1.0
+
+
+class TestSystemBackends:
+    def test_redis_backend_serves(self):
+        store = SetStore.build_synthetic(SMALL_CORPUS, rng=np.random.default_rng(2))
+        be = RedisBackend(
+            SetIntersectionWorkload(store), time_scale=0.0, rng=1
+        )
+        resp = run(be.request(0))
+        assert resp.latency_ms > 0.0
+
+    def test_redis_reissue_correlated_with_primary(self):
+        store = SetStore.build_synthetic(SMALL_CORPUS, rng=np.random.default_rng(2))
+        be = RedisBackend(
+            SetIntersectionWorkload(store), time_scale=0.0, rng=1
+        )
+        primary = run(be.request(42))
+        reissue = run(be.request(42, is_reissue=True))
+        # Same intersection on a replica: same deterministic cost, fresh
+        # noise — latencies agree within the noise envelope.
+        ratio = reissue.latency_ms / primary.latency_ms
+        assert 0.05 < ratio < 20.0
+
+    def test_search_backend_serves(self):
+        be = SearchBackend(time_scale=0.0, rng=1)
+        resp = run(be.request(0))
+        assert resp.latency_ms > 0.0
+        reissue = run(be.request(0, is_reissue=True))
+        assert reissue.latency_ms > 0.0
+        assert reissue.is_reissue
+
+    def test_cost_cache_is_bounded(self):
+        be = SearchBackend(time_scale=0.0, rng=1, cost_cache_size=4)
+
+        async def go():
+            for i in range(20):
+                await be.request(i)
+
+        run(go())
+        assert len(be._primary_cost) == 4
+        # An evicted query's reissue still serves (fresh cost draw).
+        resp = run(be.request(0, is_reissue=True))
+        assert resp.latency_ms > 0.0
+
+    def test_cost_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            SearchBackend(time_scale=0.0, cost_cache_size=0)
+
+    def test_search_latencies_plausible(self):
+        be = SearchBackend(time_scale=0.0, rng=1)
+
+        async def go():
+            return [
+                (await be.request(i)).latency_ms for i in range(300)
+            ]
+
+        lats = np.array(run(go()))
+        # The §6.3 calibration: mean ≈ 40 ms, some spread.
+        assert 15.0 < lats.mean() < 90.0
+        assert lats.std() > 5.0
+
+
+class TestSimulatedBackendBase:
+    def test_service_time_ms_abstract(self):
+        be = SimulatedBackend(time_scale=0.0)
+        with pytest.raises(NotImplementedError):
+            run(be.request(0))
+
+    def test_invalid_latency_rejected(self):
+        class Bad(SimulatedBackend):
+            def service_time_ms(self, query_id, is_reissue):
+                return float("nan")
+
+        with pytest.raises(ValueError):
+            run(Bad(time_scale=0.0).request(0))

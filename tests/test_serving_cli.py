@@ -1,0 +1,86 @@
+"""Smoke tests for the ``repro-serve`` console entry point."""
+
+import pytest
+
+from repro.serving import cli
+
+
+def test_fixed_policy_run(capsys):
+    rc = cli.main(
+        [
+            "--backend", "synthetic", "--policy", "singler",
+            "--delay", "40", "--prob", "0.5",
+            "--requests", "120", "--time-scale", "1e-5",
+            "--report-every", "60",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== final ==" in out
+    assert "requests completed" in out
+    assert "peak concurrency" in out
+
+
+def test_auto_policy_run(capsys):
+    rc = cli.main(
+        [
+            "--backend", "drifting", "--policy", "auto",
+            "--requests", "150", "--time-scale", "1e-5",
+            "--report-every", "150",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "policy refits" in out
+
+
+def test_none_policy_never_reissues(capsys):
+    rc = cli.main(
+        [
+            "--backend", "synthetic", "--policy", "none",
+            "--probe-fraction", "0",
+            "--requests", "80", "--time-scale", "1e-5",
+            "--report-every", "80",
+        ]
+    )
+    assert rc == 0
+    assert "reissues sent                 0" in capsys.readouterr().out
+
+
+def test_zero_requests_rejected(capsys):
+    assert cli.main(["--requests", "0"]) == 2
+
+
+def test_zero_report_every_rejected(capsys):
+    # report-every 0 would make serve_stream's chunk size 0 and spin.
+    assert cli.main(["--requests", "10", "--report-every", "0"]) == 2
+
+
+def test_small_batch_size_warns_about_dead_drift_path(capsys):
+    rc = cli.main(
+        [
+            "--backend", "synthetic", "--policy", "auto",
+            "--batch-size", "200",
+            "--requests", "40", "--time-scale", "0",
+            "--report-every", "40",
+        ]
+    )
+    assert rc == 0
+    assert "drift-triggered refits will never fire" in capsys.readouterr().err
+
+
+def test_default_batch_size_enables_drift_detection():
+    # DriftDetector ignores batches under min_samples (500); the CLI
+    # default must not silently disable the drift path.
+    from repro.core.online import DriftDetector
+
+    default = cli.build_parser().get_default("batch_size")
+    assert default >= DriftDetector().min_samples
+    rc = cli.main(
+        [
+            "--backend", "synthetic", "--policy", "auto",
+            "--requests", "40", "--time-scale", "0",
+            "--report-every", "40",
+        ]
+    )
+    assert rc == 0

@@ -1,0 +1,123 @@
+"""Tests for the streaming serving telemetry (sketch accuracy, counters)."""
+
+import numpy as np
+import pytest
+
+from repro.serving.hedge import RequestOutcome
+from repro.serving.metrics import ServingMetrics
+
+
+def outcome(
+    latency=10.0,
+    winner="primary",
+    n_reissues=0,
+    cancelled=0,
+    deadline=False,
+    pair=None,
+):
+    return RequestOutcome(
+        query_id=0,
+        latency_ms=latency,
+        winner=winner,
+        n_planned=1 if n_reissues else 0,
+        n_reissues=n_reissues,
+        cancelled_attempts=cancelled,
+        deadline_exceeded=deadline,
+        pair=pair,
+    )
+
+
+class TestSketchAccuracy:
+    def test_tdigest_p99_within_5pct_of_exact(self, rng):
+        # Acceptance criterion: live t-digest p99 vs exact np.quantile on
+        # the same stream, within 5%.
+        stream = rng.lognormal(3.0, 0.9, 20_000)
+        m = ServingMetrics()
+        for x in stream:
+            m.record_latency(float(x))
+        for p in (0.5, 0.99, 0.999):
+            exact = float(np.quantile(stream, p))
+            assert m.quantile(p) == pytest.approx(exact, rel=0.05)
+
+    def test_p2_fast_path_tracks_tail(self, rng):
+        stream = rng.lognormal(3.0, 0.9, 20_000)
+        m = ServingMetrics()
+        for x in stream:
+            m.record_latency(float(x))
+        exact = float(np.quantile(stream, 0.99))
+        assert m.fast_quantile(0.99) == pytest.approx(exact, rel=0.15)
+
+    def test_digest_merge_across_clients(self, rng):
+        a, b = ServingMetrics(), ServingMetrics()
+        sa = rng.lognormal(3.0, 0.5, 5_000)
+        sb = rng.lognormal(4.0, 0.5, 5_000)
+        for x in sa:
+            a.record_latency(float(x))
+        for x in sb:
+            b.record_latency(float(x))
+        merged = a.merge_digest(b)
+        exact = float(np.quantile(np.concatenate([sa, sb]), 0.99))
+        assert merged.quantile(0.99) == pytest.approx(exact, rel=0.05)
+
+
+class TestCounters:
+    def test_reissue_rate(self):
+        m = ServingMetrics()
+        for _ in range(8):
+            m.record(outcome())
+        for _ in range(2):
+            m.record(outcome(n_reissues=1, winner="reissue", cancelled=1))
+        assert m.completed == 10
+        assert m.reissue_rate == pytest.approx(0.2)
+        assert m.reissue_wins == 2
+        assert m.cancelled_attempts == 2
+
+    def test_policy_rate_excludes_probes(self):
+        m = ServingMetrics()
+        for _ in range(8):
+            m.record(outcome())
+        for _ in range(2):
+            m.record(outcome(n_reissues=1, pair=(5.0, 7.0)))
+        assert m.probes == 2
+        assert m.reissue_rate == pytest.approx(0.2)
+        assert m.policy_reissue_rate == pytest.approx(0.0)
+
+    def test_deadline_counter(self):
+        m = ServingMetrics()
+        m.record(outcome(latency=20.0, winner="none", deadline=True))
+        assert m.deadline_exceeded == 1
+
+    def test_empty_rates_are_zero(self):
+        m = ServingMetrics()
+        assert m.reissue_rate == 0.0
+        assert m.policy_reissue_rate == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ServingMetrics().record_latency(-1.0)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            ServingMetrics(percentiles=(1.5,))
+
+
+class TestSnapshot:
+    def test_snapshot_fields_and_render(self, rng):
+        m = ServingMetrics()
+        for x in rng.lognormal(3.0, 0.5, 1_000):
+            m.record_latency(float(x))
+        m.record(outcome(n_reissues=1, winner="reissue", cancelled=1))
+        snap = m.snapshot()
+        assert snap.completed == 1_001
+        assert 0.5 in snap.quantiles and 0.99 in snap.quantiles
+        assert snap.policy_reissue_rate == m.policy_reissue_rate
+        text = snap.render()
+        assert "requests completed" in text
+        assert "policy reissue rate" in text
+        assert "p99" in text
+
+    def test_empty_snapshot(self):
+        snap = ServingMetrics().snapshot()
+        assert snap.completed == 0
+        assert snap.quantiles == {}
+        assert "requests completed" in snap.render()

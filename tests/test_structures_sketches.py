@@ -54,6 +54,16 @@ class TestTDigest:
         d.add(42.0)
         assert d.quantile(0.5) == 42.0
 
+    def test_quantile_clamped_to_observed_range(self):
+        # Regression (found by hypothesis): incremental centroid means
+        # can cancel catastrophically and interpolate to exactly 0.0 for
+        # all-negative data; quantiles must stay within [min, max].
+        data = [-5.0, -2.4833964907801273e-16, -8.563584500489659e-272]
+        d = TDigest(50)
+        d.add_batch(np.asarray(data))
+        for p in (0.25, 0.5, 0.75):
+            assert min(data) <= d.quantile(p) <= max(data)
+
     def test_extremes_exact(self, rng):
         data = rng.normal(0, 1, 10000)
         d = TDigest(100)
