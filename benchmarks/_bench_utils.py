@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Lives in its own module (not conftest.py) because pytest imports every
+conftest.py as the module name ``conftest`` — a bench file doing
+``from conftest import ...`` would resolve to whichever conftest landed
+in ``sys.modules`` first (tests/ or benchmarks/), breaking any pytest
+invocation that mixes the two trees.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.common import Scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Scale used by figure benches: small enough for a minutes-long suite,
+#: large enough that the paper's shape checks are meaningful.
+BENCH_SCALE = Scale(
+    name="bench",
+    n_queries=6_000,
+    eval_seeds=(101, 103),
+    adaptive_trials=3,
+    sweep_points=3,
+)
+
+
+def run_and_report(benchmark, experiment_id, scale=BENCH_SCALE, **kwargs):
+    """Run one figure driver under the benchmark timer and print it."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, scale=scale, seed=42, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result
+
+
+def persist_bench_record(name: str, payload: dict) -> Path | None:
+    """Write ``BENCH_<name>.json`` at the repo root (the perf trajectory).
+
+    Returns the path written, or None when persistence is disabled via
+    ``REPRO_BENCH_PERSIST=0``.
+    """
+    if os.environ.get("REPRO_BENCH_PERSIST", "1") == "0":
+        return None
+    record = {
+        "bench": name,
+        "recorded_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -1,0 +1,157 @@
+"""Batch-simulation speedup bench: fastsim vs the frozen per-query loop.
+
+The workload is fig2-scale — the Queueing system at 30% utilization,
+20k queries per replication, a seed-paired batch across an adaptive-size
+budget grid — i.e. exactly the shape every figure driver multiplies out.
+Three implementations run the same replications:
+
+* ``v0``        — the seed revision's per-query event loop (frozen copy
+                  in ``legacy_engine.py``);
+* ``reference`` — today's object-based oracle loop (pre-drawn inputs,
+                  still one Python object per request);
+* ``fastsim``   — the array-backed batch kernel behind
+                  ``simulate_cluster``.
+
+Run standalone to record the perf trajectory (the committed
+``BENCH_fastsim.json``)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_fastsim.py
+
+or under pytest (asserts the acceptance floor with CI headroom)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_fastsim.py -s
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from legacy_engine import simulate_cluster_v0
+
+from repro.core.policies import SingleR
+from repro.fastsim import ReplicationSpec, simulate_batch
+from repro.simulation.engine import simulate_cluster_reference
+from repro.simulation.workloads import queueing_workload
+
+#: Fig-2 protocol shape: P95 target, 30% budget, 30% utilization.
+FIG2_POLICY = SingleR(10.0, 0.3)
+FIG2_SEEDS = (101, 103, 107)
+FIG2_BUDGET_POINTS = 4
+
+
+def fig2_scale_specs(n_queries=20_000):
+    """Seed-paired replications across a budget grid, fig2-style."""
+    system = queueing_workload(n_queries=n_queries, utilization=0.3)
+    probs = np.linspace(0.1, 0.4, FIG2_BUDGET_POINTS)
+    return [
+        ReplicationSpec(
+            system.config,
+            SingleR(FIG2_POLICY.delay, float(q)),
+            seed=s,
+            key=f"q{q:.2f}-s{s}",
+        )
+        for q in probs
+        for s in FIG2_SEEDS
+    ]
+
+
+def _time_replications(runner, specs, repeats=1):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for spec in specs:
+            runner(spec.config, spec.policy, np.random.default_rng(spec.seed))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_batch(specs, repeats=1):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate_batch(specs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(n_queries=20_000, repeats=2):
+    """Wall-clock all three implementations over the same batch."""
+    specs = fig2_scale_specs(n_queries)
+    t_v0 = _time_replications(simulate_cluster_v0, specs, repeats)
+    t_ref = _time_replications(simulate_cluster_reference, specs, repeats)
+    t_fast = _time_batch(specs, repeats)
+    n_rep = len(specs)
+    return {
+        "workload": {
+            "system": "queueing_workload(utilization=0.3)",
+            "n_queries": n_queries,
+            "n_replications": n_rep,
+            "seeds": list(FIG2_SEEDS),
+            "budget_points": FIG2_BUDGET_POINTS,
+            "policy_delay": FIG2_POLICY.delay,
+        },
+        "seconds": {
+            "v0_per_query_loop": round(t_v0, 4),
+            "reference_loop": round(t_ref, 4),
+            "fastsim_batch": round(t_fast, 4),
+        },
+        "replications_per_second": {
+            "v0_per_query_loop": round(n_rep / t_v0, 2),
+            "reference_loop": round(n_rep / t_ref, 2),
+            "fastsim_batch": round(n_rep / t_fast, 2),
+        },
+        "speedup": {
+            "fastsim_vs_v0": round(t_v0 / t_fast, 2),
+            "fastsim_vs_reference": round(t_ref / t_fast, 2),
+            "reference_vs_v0": round(t_v0 / t_ref, 2),
+        },
+    }
+
+
+def test_fastsim_speedup_over_per_query_loop():
+    """Acceptance floor (with CI-noise headroom below the recorded ≥3×):
+    the batch kernel must beat the frozen per-query loop ≥3× and the
+    current reference loop ≥2× on a reduced fig2-scale batch."""
+    report = measure(n_queries=8_000, repeats=1)
+    print()
+    print("fastsim bench (reduced scale):", report["speedup"])
+    assert report["speedup"]["fastsim_vs_v0"] >= 3.0
+    assert report["speedup"]["fastsim_vs_reference"] >= 2.0
+
+
+def test_fastsim_equivalence_spot_check():
+    """The three implementations agree bit-for-bit on a spot replication
+    (full matrix coverage lives in tests/test_fastsim_equivalence.py; the
+    v0 loop predates the pre-draw protocol and is only distribution-level
+    equivalent, so it is not compared here)."""
+    spec = fig2_scale_specs(2_000)[0]
+    fast = simulate_batch([spec])[0]
+    ref = simulate_cluster_reference(
+        spec.config, spec.policy, np.random.default_rng(spec.seed)
+    )
+    np.testing.assert_array_equal(fast.latencies, ref.latencies)
+    assert fast.utilization == ref.utilization
+
+
+def main():
+    from _bench_utils import persist_bench_record
+
+    report = measure()
+    path = persist_bench_record("fastsim", report)
+    print("fig2-scale batch of", report["workload"]["n_replications"], "replications:")
+    for impl, secs in report["seconds"].items():
+        rps = report["replications_per_second"][impl]
+        print(f"  {impl:>20}: {secs:7.3f}s  ({rps:.2f} replications/s)")
+    print("speedups:", report["speedup"])
+    if path is not None:
+        print("recorded ->", path)
+    if report["speedup"]["fastsim_vs_v0"] < 3.0:
+        raise SystemExit("speedup target (>=3x vs per-query loop) not met")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Regenerate Figure 2 (load perturbation + adaptive convergence)."""
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig2_adaptive_convergence(benchmark):

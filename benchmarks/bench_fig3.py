@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig3_singler_vs_singled(benchmark):

@@ -1,6 +1,6 @@
 """Regenerate Figure 4 (response-time correlation scatter plots)."""
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig4_queueing_dampens_correlation(benchmark):

@@ -1,6 +1,6 @@
 """Regenerate Figure 5 (correlation / load-balancing / discipline sweeps)."""
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig5_sensitivity(benchmark):

@@ -6,7 +6,7 @@ the headline SingleR-vs-SingleD comparison at 40% utilization.
 
 import numpy as np
 
-from .conftest import BENCH_SCALE, run_and_report
+from _bench_utils import BENCH_SCALE, run_and_report
 
 
 def test_fig7a_singler_vs_singled(benchmark):

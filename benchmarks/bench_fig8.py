@@ -1,6 +1,6 @@
 """Regenerate Figure 8 (budget binary search on Redis @ 20% util)."""
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig8_budget_search(benchmark):

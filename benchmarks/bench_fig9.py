@@ -2,7 +2,7 @@
 
 import pytest
 
-from .conftest import run_and_report
+from _bench_utils import run_and_report
 
 
 def test_fig9_service_profiles(benchmark):

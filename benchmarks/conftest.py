@@ -5,38 +5,23 @@ Each ``bench_figN.py`` regenerates the corresponding paper figure at the
 rows (so ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced
 data), and asserts the paper's qualitative shape. Microbenchmarks for the
 algorithmic claims (O(N log N) optimizer, engine throughput) live in
-``bench_perf.py``; design-choice ablations in ``bench_ablation.py``.
+``bench_perf.py``; design-choice ablations in ``bench_ablation.py``; the
+batch-simulation speedup bench in ``bench_fastsim.py``.
+
+Any bench can persist a perf-trajectory record with
+``_bench_utils.persist_bench_record``: the payload lands in
+``BENCH_<name>.json`` at the repo root, which is committed so the repo
+carries its own measured history (set ``REPRO_BENCH_PERSIST=0`` to
+suppress writes, e.g. on noisy shared runners). The helpers live in
+``_bench_utils.py``, not here — importing from ``conftest`` collides
+with ``tests/conftest.py`` in mixed pytest invocations.
 """
 
 import pytest
 
-from repro.experiments.common import Scale
-
-#: Scale used by figure benches: small enough for a minutes-long suite,
-#: large enough that the paper's shape checks are meaningful.
-BENCH_SCALE = Scale(
-    name="bench",
-    n_queries=6_000,
-    eval_seeds=(101, 103),
-    adaptive_trials=3,
-    sweep_points=3,
-)
+from _bench_utils import BENCH_SCALE
 
 
 @pytest.fixture(scope="session")
 def bench_scale():
     return BENCH_SCALE
-
-
-def run_and_report(benchmark, experiment_id, scale=BENCH_SCALE, **kwargs):
-    """Run one figure driver under the benchmark timer and print it."""
-    from repro.experiments import run_experiment
-
-    result = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, scale=scale, seed=42, **kwargs),
-        rounds=1,
-        iterations=1,
-    )
-    print()
-    print(result.render())
-    return result

@@ -1,0 +1,171 @@
+"""Frozen v0 per-query event loop — the benchmark baseline.
+
+This is the seed revision's ``simulate_cluster`` verbatim (modulo imports
+and the ``ClusterConfig`` definition, which still lives in the engine):
+one Python ``Request`` object per dispatched copy, every event through a
+full-size heap, and a scalar generator call per dispatch and per fired
+reissue. It exists only so ``bench_fastsim.py`` can measure the batch
+layer against the real historical cost — do not import it from library
+code, and do not "fix" it.
+"""
+
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interfaces import RunResult
+from repro.core.policies import ReissuePolicy
+from repro.distributions.base import RngLike, as_rng
+from repro.simulation.arrivals import PoissonArrivals
+from repro.simulation.events import ARRIVAL, DEPARTURE, REISSUE_CHECK, EventQueue
+from repro.simulation.load_balancer import LoadBalancer, make_balancer
+from repro.simulation.queues import make_discipline
+from repro.simulation.server import Request, Server
+
+
+def simulate_cluster_v0(
+    config: ClusterConfig, policy: ReissuePolicy, rng: RngLike = None
+) -> RunResult:
+    """Run one cluster simulation and collect the §4 observables."""
+    rng = as_rng(rng)
+    n = config.n_queries
+    x = config.service_model.sample_primary(n, rng)
+    # Optional richer protocol: a service model that tracks per-query
+    # deterministic work (e.g. the search substrate's execution noise)
+    # exposes ``sample_reissue_for(query_id, rng)``.
+    reissue_for = getattr(config.service_model, "sample_reissue_for", None)
+    if config.arrivals is not None:
+        arrivals = config.arrivals.generate(n, rng)
+    else:
+        rate = (
+            config.target_utilization * config.n_servers / float(np.mean(x))
+        )
+        arrivals = PoissonArrivals(rate).generate(n, rng)
+    plans = policy.draw_plans(n, rng)
+
+    balancer = (
+        config.balancer
+        if isinstance(config.balancer, LoadBalancer)
+        else make_balancer(config.balancer)
+    )
+    balancer.reset()
+    servers = [
+        Server(s, make_discipline(config.discipline))
+        for s in range(config.n_servers)
+    ]
+    backlogs = np.zeros(config.n_servers, dtype=np.int64)
+
+    # Per-query records. first_response < 0 means "no response yet".
+    first_response = np.full(n, -1.0)
+    primary_completion = np.full(n, np.nan)
+    # A query may issue several reissues under MultipleR; we log every
+    # dispatched reissue as a (query, dispatch_time, completion) row.
+    reissue_qid: list[int] = []
+    reissue_dispatch: list[float] = []
+    reissue_completion: dict[int, float] = {}  # row index -> completion
+    cancelled_rows: set[int] = set()
+
+    events = EventQueue()
+    for qid in range(n):
+        events.push(arrivals[qid], ARRIVAL, qid)
+        for d in plans[qid]:
+            events.push(arrivals[qid] + d, REISSUE_CHECK, qid)
+
+    def start(sid: int, started: Request) -> None:
+        """Schedule the departure of a request entering service,
+        converting stale reissue copies into cancellations if enabled."""
+        duration = started.service_time
+        if (
+            config.cancel_queued
+            and started.is_reissue
+            and first_response[started.query_id] >= 0.0
+        ):
+            # The query is already answered: don't execute the duplicate.
+            duration = config.cancel_overhead
+            servers[sid].busy_time -= started.service_time - duration
+            cancelled_rows.add(started.row)
+        events.push(now + duration, DEPARTURE, sid)
+
+    def dispatch(req: Request) -> None:
+        sid = balancer.choose(backlogs, rng)
+        backlogs[sid] += 1
+        started = servers[sid].enqueue(req)
+        if started is not None:
+            start(sid, started)
+
+    now = 0.0
+    while events:
+        now, _, kind, payload = events.pop()
+        if kind == ARRIVAL:
+            qid = payload
+            dispatch(Request(qid, False, float(x[qid]), now))
+        elif kind == REISSUE_CHECK:
+            qid = payload
+            if first_response[qid] >= 0.0:
+                continue  # already answered; reissue suppressed
+            if reissue_for is not None:
+                y = float(reissue_for(qid, rng))
+            else:
+                y = float(
+                    config.service_model.sample_reissue(x[qid : qid + 1], rng)[0]
+                )
+            row = len(reissue_qid)
+            reissue_qid.append(qid)
+            reissue_dispatch.append(now)
+            dispatch(Request(qid, True, y, now, row=row))
+        else:  # DEPARTURE
+            sid = payload
+            done, nxt = servers[sid].finish()
+            backlogs[sid] -= 1
+            qid = done.query_id
+            if done.is_reissue:
+                reissue_completion[done.row] = now
+            else:
+                primary_completion[qid] = now
+            if first_response[qid] < 0.0:
+                first_response[qid] = now
+            if nxt is not None:
+                start(sid, nxt)
+
+    makespan = now if now > 0.0 else 1.0
+    utilization = sum(s.busy_time for s in servers) / (
+        config.n_servers * makespan
+    )
+
+    warm = int(np.floor(config.warmup_fraction * n))
+    sel = np.arange(warm, n)
+    latencies = first_response[sel] - arrivals[sel]
+    primary_rt = primary_completion[sel] - arrivals[sel]
+
+    r_qid = np.asarray(reissue_qid, dtype=np.int64)
+    r_dispatch = np.asarray(reissue_dispatch, dtype=np.float64)
+    r_complete = np.array(
+        [reissue_completion[i] for i in range(len(reissue_qid))],
+        dtype=np.float64,
+    )
+    executed = np.array(
+        [i not in cancelled_rows for i in range(len(reissue_qid))], dtype=bool
+    )
+    in_window = (r_qid >= warm) & executed
+    pair_x = primary_completion[r_qid[in_window]] - arrivals[r_qid[in_window]]
+    pair_y = r_complete[in_window] - r_dispatch[in_window]
+    # The budget counts *dispatched* copies (they consumed a request slot
+    # even if later cancelled); cancellation saves service time, not sends.
+    reissue_rate = float((r_qid >= warm).sum()) / max(sel.size, 1)
+
+    return RunResult(
+        latencies=latencies,
+        primary_response_times=primary_rt,
+        reissue_pair_x=pair_x,
+        reissue_pair_y=pair_y,
+        reissue_rate=reissue_rate,
+        utilization=float(utilization),
+        meta={
+            "makespan": float(makespan),
+            "n_queries": int(n),
+            "n_measured": int(sel.size),
+            "n_reissues_total": len(reissue_qid),
+            "n_cancelled": len(cancelled_rows),
+        },
+    )

@@ -78,6 +78,34 @@ class ReissuePolicy:
         coins = rng.random((n, len(ds))) < qs
         return [tuple(ds[row]) for row in coins]
 
+    def draw_plan_arrays(
+        self, n: int, rng: RngLike = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat-array form of :meth:`draw_plans` for the batch simulator.
+
+        Returns ``(counts, plan_qids, plan_delays)``: per-query plan sizes
+        plus the planned stages flattened in query-major, stage-ascending
+        order. Consumes the generator identically to :meth:`draw_plans`
+        (one ``rng.random((n, n_stages))`` block), so either form yields
+        the same plans for the same seed.
+        """
+        rng = as_rng(rng)
+        if not self._stages:
+            return (
+                np.zeros(n, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        ds = np.array([d for d, _ in self._stages])
+        qs = np.array([q for _, q in self._stages])
+        coins = rng.random((n, len(ds))) < qs
+        qid, stage = np.nonzero(coins)
+        return (
+            coins.sum(axis=1, dtype=np.int64),
+            qid.astype(np.int64, copy=False),
+            ds[stage],
+        )
+
     # -- analytic interface (independent model, Section 2.1) ---------------
     def completion_cdf(self, t, primary: Distribution, reissue: Distribution):
         """``Pr(Q <= t)`` under independence (Eqs. 1/3 and generalization).

@@ -1,0 +1,33 @@
+"""repro.fastsim — vectorized batch-replication layer for the §5 engine.
+
+The discrete-event cluster simulation is the inner loop of every paper
+figure: each plotted point is a median over seed-paired replications, and
+each budget grid multiplies that again. ``fastsim`` makes replications
+cheap:
+
+* all randomness is pre-drawn per replication in one fixed protocol
+  order (:func:`repro.simulation.engine.draw_replication_inputs`) with
+  vectorized draws, so the hot loop performs no per-event generator
+  calls for the default uniform-random balancer;
+* the statically known events (arrivals and reissue-timer checks) are
+  bulk-built and stable-sorted as arrays up front — the remaining
+  scalar event loop's dynamic heap only ever holds at most one
+  departure per server;
+* per-query Python objects (``Request``/``Server``) are replaced by flat
+  lists indexed by server id.
+
+The kernel is bit-for-bit equivalent to
+:func:`repro.simulation.engine.simulate_cluster_reference` for a fixed
+seed (``tests/test_fastsim_equivalence.py`` enforces this across the
+policy × discipline × balancer × cancellation matrix).
+"""
+
+from .batch import ReplicationSpec, batch_over_seeds, simulate_batch
+from .kernel import simulate_replication
+
+__all__ = [
+    "ReplicationSpec",
+    "batch_over_seeds",
+    "simulate_batch",
+    "simulate_replication",
+]

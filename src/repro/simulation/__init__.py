@@ -8,7 +8,7 @@ from .arrivals import (
     TraceArrivals,
 )
 from .calibrate import arrival_rate_for_utilization, calibrate_arrival_rate
-from .engine import ClusterConfig, simulate_cluster
+from .engine import ClusterConfig, simulate_cluster, simulate_cluster_reference
 from .events import ARRIVAL, DEPARTURE, REISSUE_CHECK, EventQueue
 from .load_balancer import (
     JsqBalancer,
@@ -51,6 +51,7 @@ __all__ = [
     "calibrate_arrival_rate",
     "ClusterConfig",
     "simulate_cluster",
+    "simulate_cluster_reference",
     "EventQueue",
     "ARRIVAL",
     "REISSUE_CHECK",

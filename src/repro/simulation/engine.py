@@ -6,11 +6,28 @@ mechanism that mirrors the paper's implementation (§6.1): each query's
 reissue timer fires at ``t0 + d``; if the query is still incomplete the
 copy is dispatched (to an independently chosen server) — and once
 dispatched it is never cancelled, so reissues genuinely add load.
+
+Two implementations share one replication protocol:
+
+* :func:`simulate_cluster_reference` — the readable object-based event
+  loop in this module (``EventQueue`` + ``Server`` + ``Request``), kept
+  as the correctness oracle;
+* :mod:`repro.fastsim` — the array-backed batch kernel that
+  :func:`simulate_cluster` dispatches to, bit-for-bit equivalent to the
+  reference for a fixed seed (enforced by ``tests/test_fastsim_equivalence``).
+
+The protocol pre-draws all randomness per replication in a fixed order
+(:func:`draw_replication_inputs`): primary service times, arrivals,
+reissue plans, one service draw per *planned* reissue stage (drawn
+whether or not the stage ends up firing — unused draws are discarded,
+which leaves every used draw i.i.d.), and, for the uniform-random
+balancer, one server choice per potential dispatch. Backlog-dependent
+balancers still consume the generator per dispatch, in event order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +36,7 @@ from ..core.policies import ReissuePolicy
 from ..distributions.base import RngLike, as_rng
 from .arrivals import ArrivalProcess, PoissonArrivals
 from .events import ARRIVAL, DEPARTURE, REISSUE_CHECK, EventQueue
-from .load_balancer import LoadBalancer, make_balancer
+from .load_balancer import LoadBalancer, RandomBalancer, make_balancer
 from .queues import make_discipline
 from .server import Request, Server
 
@@ -73,17 +90,34 @@ class ClusterConfig:
             raise ValueError("cancel_overhead must be >= 0")
 
 
-def simulate_cluster(
-    config: ClusterConfig, policy: ReissuePolicy, rng: RngLike = None
-) -> RunResult:
-    """Run one cluster simulation and collect the §4 observables."""
-    rng = as_rng(rng)
+@dataclass
+class ReplicationInputs:
+    """All randomness of one replication, drawn upfront in protocol order.
+
+    ``plan_qids[i]``/``plan_delays[i]``/``plan_y[i]`` describe the i-th
+    planned reissue stage (query-major, stage-ascending). ``sids`` holds
+    pre-drawn server choices when the balancer is the exact uniform
+    :class:`RandomBalancer` (which ignores backlogs), else ``None`` and
+    ``balancer.choose`` is called per dispatch.
+    """
+
+    x: np.ndarray
+    arrivals: np.ndarray
+    plan_counts: np.ndarray
+    plan_qids: np.ndarray
+    plan_delays: np.ndarray
+    plan_y: np.ndarray
+    balancer: LoadBalancer
+    sids: np.ndarray | None
+
+
+def draw_replication_inputs(
+    config: ClusterConfig, policy: ReissuePolicy, rng: np.random.Generator
+) -> ReplicationInputs:
+    """Consume ``rng`` in the fixed replication order shared by both the
+    reference loop and the fastsim kernel."""
     n = config.n_queries
     x = config.service_model.sample_primary(n, rng)
-    # Optional richer protocol: a service model that tracks per-query
-    # deterministic work (e.g. the search substrate's execution noise)
-    # exposes ``sample_reissue_for(query_id, rng)``.
-    reissue_for = getattr(config.service_model, "sample_reissue_for", None)
     if config.arrivals is not None:
         arrivals = config.arrivals.generate(n, rng)
     else:
@@ -91,7 +125,24 @@ def simulate_cluster(
             config.target_utilization * config.n_servers / float(np.mean(x))
         )
         arrivals = PoissonArrivals(rate).generate(n, rng)
-    plans = policy.draw_plans(n, rng)
+    plan_counts, plan_qids, plan_delays = policy.draw_plan_arrays(n, rng)
+
+    # Optional richer protocol: a service model that tracks per-query
+    # deterministic work (e.g. the search substrate's execution noise)
+    # exposes ``sample_reissue_for(query_id, rng)``.
+    reissue_for = getattr(config.service_model, "sample_reissue_for", None)
+    if plan_qids.size == 0:
+        plan_y = np.empty(0, dtype=np.float64)
+    elif reissue_for is not None:
+        plan_y = np.array(
+            [float(reissue_for(int(q), rng)) for q in plan_qids],
+            dtype=np.float64,
+        )
+    else:
+        plan_y = np.asarray(
+            config.service_model.sample_reissue(x[plan_qids], rng),
+            dtype=np.float64,
+        )
 
     balancer = (
         config.balancer
@@ -99,102 +150,52 @@ def simulate_cluster(
         else make_balancer(config.balancer)
     )
     balancer.reset()
-    servers = [
-        Server(s, make_discipline(config.discipline))
-        for s in range(config.n_servers)
-    ]
-    backlogs = np.zeros(config.n_servers, dtype=np.int64)
-
-    # Per-query records. first_response < 0 means "no response yet".
-    first_response = np.full(n, -1.0)
-    primary_completion = np.full(n, np.nan)
-    # A query may issue several reissues under MultipleR; we log every
-    # dispatched reissue as a (query, dispatch_time, completion) row.
-    reissue_qid: list[int] = []
-    reissue_dispatch: list[float] = []
-    reissue_completion: dict[int, float] = {}  # row index -> completion
-    cancelled_rows: set[int] = set()
-
-    events = EventQueue()
-    for qid in range(n):
-        events.push(arrivals[qid], ARRIVAL, qid)
-        for d in plans[qid]:
-            events.push(arrivals[qid] + d, REISSUE_CHECK, qid)
-
-    def start(sid: int, started: Request) -> None:
-        """Schedule the departure of a request entering service,
-        converting stale reissue copies into cancellations if enabled."""
-        duration = started.service_time
-        if (
-            config.cancel_queued
-            and started.is_reissue
-            and first_response[started.query_id] >= 0.0
-        ):
-            # The query is already answered: don't execute the duplicate.
-            duration = config.cancel_overhead
-            servers[sid].busy_time -= started.service_time - duration
-            cancelled_rows.add(started.row)
-        events.push(now + duration, DEPARTURE, sid)
-
-    def dispatch(req: Request) -> None:
-        sid = balancer.choose(backlogs, rng)
-        backlogs[sid] += 1
-        started = servers[sid].enqueue(req)
-        if started is not None:
-            start(sid, started)
-
-    now = 0.0
-    while events:
-        now, _, kind, payload = events.pop()
-        if kind == ARRIVAL:
-            qid = payload
-            dispatch(Request(qid, False, float(x[qid]), now))
-        elif kind == REISSUE_CHECK:
-            qid = payload
-            if first_response[qid] >= 0.0:
-                continue  # already answered; reissue suppressed
-            if reissue_for is not None:
-                y = float(reissue_for(qid, rng))
-            else:
-                y = float(
-                    config.service_model.sample_reissue(x[qid : qid + 1], rng)[0]
-                )
-            row = len(reissue_qid)
-            reissue_qid.append(qid)
-            reissue_dispatch.append(now)
-            dispatch(Request(qid, True, y, now, row=row))
-        else:  # DEPARTURE
-            sid = payload
-            done, nxt = servers[sid].finish()
-            backlogs[sid] -= 1
-            qid = done.query_id
-            if done.is_reissue:
-                reissue_completion[done.row] = now
-            else:
-                primary_completion[qid] = now
-            if first_response[qid] < 0.0:
-                first_response[qid] = now
-            if nxt is not None:
-                start(sid, nxt)
-
-    makespan = now if now > 0.0 else 1.0
-    utilization = sum(s.busy_time for s in servers) / (
-        config.n_servers * makespan
+    # Exact-type check: a RandomBalancer subclass may override choose().
+    if type(balancer) is RandomBalancer:
+        sids = rng.integers(0, config.n_servers, size=n + plan_qids.size)
+    else:
+        sids = None
+    return ReplicationInputs(
+        x=x,
+        arrivals=arrivals,
+        plan_counts=plan_counts,
+        plan_qids=plan_qids,
+        plan_delays=plan_delays,
+        plan_y=plan_y,
+        balancer=balancer,
+        sids=sids,
     )
+
+
+def assemble_run_result(
+    config: ClusterConfig,
+    arrivals: np.ndarray,
+    first_response: np.ndarray,
+    primary_completion: np.ndarray,
+    reissue_qid,
+    reissue_dispatch,
+    reissue_complete,
+    cancelled_rows,
+    busy_total: float,
+    now: float,
+) -> RunResult:
+    """Collect the §4 observables — shared by both implementations so the
+    post-processing arithmetic is identical to the bit."""
+    n = config.n_queries
+    makespan = now if now > 0.0 else 1.0
+    utilization = busy_total / (config.n_servers * makespan)
 
     warm = int(np.floor(config.warmup_fraction * n))
     sel = np.arange(warm, n)
     latencies = first_response[sel] - arrivals[sel]
     primary_rt = primary_completion[sel] - arrivals[sel]
 
+    n_reissues = len(reissue_qid)
     r_qid = np.asarray(reissue_qid, dtype=np.int64)
     r_dispatch = np.asarray(reissue_dispatch, dtype=np.float64)
-    r_complete = np.array(
-        [reissue_completion[i] for i in range(len(reissue_qid))],
-        dtype=np.float64,
-    )
+    r_complete = np.asarray(reissue_complete, dtype=np.float64)
     executed = np.array(
-        [i not in cancelled_rows for i in range(len(reissue_qid))], dtype=bool
+        [i not in cancelled_rows for i in range(n_reissues)], dtype=bool
     )
     in_window = (r_qid >= warm) & executed
     pair_x = primary_completion[r_qid[in_window]] - arrivals[r_qid[in_window]]
@@ -214,7 +215,141 @@ def simulate_cluster(
             "makespan": float(makespan),
             "n_queries": int(n),
             "n_measured": int(sel.size),
-            "n_reissues_total": len(reissue_qid),
+            "n_reissues_total": n_reissues,
             "n_cancelled": len(cancelled_rows),
         },
+    )
+
+
+def simulate_cluster(
+    config: ClusterConfig, policy: ReissuePolicy, rng: RngLike = None
+) -> RunResult:
+    """Run one cluster simulation and collect the §4 observables.
+
+    Thin single-replication wrapper over the :mod:`repro.fastsim` batch
+    kernel (which falls back to :func:`simulate_cluster_reference` for
+    queue disciplines it does not specialize).
+    """
+    from ..fastsim.kernel import simulate_replication
+
+    return simulate_replication(config, policy, rng)
+
+
+def simulate_cluster_reference(
+    config: ClusterConfig,
+    policy: ReissuePolicy,
+    rng: RngLike = None,
+    inputs: ReplicationInputs | None = None,
+) -> RunResult:
+    """Object-based reference event loop (the correctness oracle).
+
+    ``inputs`` lets a caller that already consumed the pre-draw phase
+    (the fastsim kernel's fallback path) skip redrawing.
+    """
+    rng = as_rng(rng)
+    if inputs is None:
+        inputs = draw_replication_inputs(config, policy, rng)
+    n = config.n_queries
+    x = inputs.x
+    arrivals = inputs.arrivals
+    plan_qids = inputs.plan_qids
+    balancer = inputs.balancer
+    sids = inputs.sids
+    next_sid = 0
+
+    servers = [
+        Server(s, make_discipline(config.discipline))
+        for s in range(config.n_servers)
+    ]
+    backlogs = np.zeros(config.n_servers, dtype=np.int64)
+
+    # Per-query records. first_response < 0 means "no response yet".
+    first_response = np.full(n, -1.0)
+    primary_completion = np.full(n, np.nan)
+    # A query may issue several reissues under MultipleR; we log every
+    # dispatched reissue as a (query, dispatch_time, completion) row.
+    reissue_qid: list[int] = []
+    reissue_dispatch: list[float] = []
+    reissue_complete: list[float] = []  # row index -> completion
+    cancelled_rows: set[int] = set()
+
+    # REISSUE_CHECK payloads are flat plan indices into plan_qids/plan_y.
+    events = EventQueue()
+    pi = 0
+    counts = inputs.plan_counts.tolist()
+    delays = inputs.plan_delays.tolist()
+    for qid in range(n):
+        events.push(arrivals[qid], ARRIVAL, qid)
+        for _ in range(counts[qid]):
+            events.push(arrivals[qid] + delays[pi], REISSUE_CHECK, pi)
+            pi += 1
+
+    def start(sid: int, started: Request) -> None:
+        """Schedule the departure of a request entering service,
+        converting stale reissue copies into cancellations if enabled."""
+        duration = started.service_time
+        if (
+            config.cancel_queued
+            and started.is_reissue
+            and first_response[started.query_id] >= 0.0
+        ):
+            # The query is already answered: don't execute the duplicate.
+            duration = config.cancel_overhead
+            servers[sid].busy_time -= started.service_time - duration
+            cancelled_rows.add(started.row)
+        events.push(now + duration, DEPARTURE, sid)
+
+    def dispatch(req: Request) -> None:
+        nonlocal next_sid
+        if sids is not None:
+            sid = int(sids[next_sid])
+            next_sid += 1
+        else:
+            sid = balancer.choose(backlogs, rng)
+        backlogs[sid] += 1
+        started = servers[sid].enqueue(req)
+        if started is not None:
+            start(sid, started)
+
+    now = 0.0
+    while events:
+        now, _, kind, payload = events.pop()
+        if kind == ARRIVAL:
+            qid = payload
+            dispatch(Request(qid, False, float(x[qid]), now))
+        elif kind == REISSUE_CHECK:
+            qid = int(plan_qids[payload])
+            if first_response[qid] >= 0.0:
+                continue  # already answered; reissue suppressed
+            y = float(inputs.plan_y[payload])
+            row = len(reissue_qid)
+            reissue_qid.append(qid)
+            reissue_dispatch.append(now)
+            reissue_complete.append(np.nan)
+            dispatch(Request(qid, True, y, now, row=row))
+        else:  # DEPARTURE
+            sid = payload
+            done, nxt = servers[sid].finish()
+            backlogs[sid] -= 1
+            qid = done.query_id
+            if done.is_reissue:
+                reissue_complete[done.row] = now
+            else:
+                primary_completion[qid] = now
+            if first_response[qid] < 0.0:
+                first_response[qid] = now
+            if nxt is not None:
+                start(sid, nxt)
+
+    return assemble_run_result(
+        config,
+        arrivals,
+        first_response,
+        primary_completion,
+        reissue_qid,
+        reissue_dispatch,
+        reissue_complete,
+        cancelled_rows,
+        sum(s.busy_time for s in servers),
+        now,
     )

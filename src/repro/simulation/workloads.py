@@ -144,6 +144,16 @@ class QueueingSystem:
     def run(self, policy: ReissuePolicy, rng: RngLike = None) -> RunResult:
         return simulate_cluster(self.config, policy, rng)
 
+    def run_batch(self, policy: ReissuePolicy, seeds) -> list[RunResult]:
+        """Seed-paired replications through the fastsim batch layer.
+
+        Each element is bit-for-bit what ``run(policy, seed)`` returns —
+        the batch path only changes how the work is scheduled.
+        """
+        from ..fastsim import batch_over_seeds
+
+        return batch_over_seeds(self.config, policy, seeds)
+
 
 # -- paper-default factories -------------------------------------------------
 

@@ -149,6 +149,11 @@ def histogram_chart(
         raise ValueError("values must be non-empty")
     if bin_width <= 0:
         raise ValueError("bin_width must be > 0")
+    # Match the line/scatter renderers: non-finite samples are skipped,
+    # not allowed to poison the bin edges with a NaN/inf maximum.
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("values has no finite entries")
     hi = float(values.max())
     n_bins = int(hi // bin_width) + 1
     clipped = False

@@ -53,6 +53,20 @@ class TestMedianTail:
         system = queueing_workload(n_queries=2000, utilization=0.3)
         assert baseline_tail(system, 0.95, (1, 2)) > 0
 
+    def test_batch_path_matches_seed_loop(self):
+        # QueueingSystem exposes run_batch → median_tail takes the
+        # fastsim batch path; it must reproduce the per-seed loop exactly.
+        system = queueing_workload(n_queries=2000, utilization=0.3)
+        assert hasattr(system, "run_batch")
+        pol = SingleR(1.0, 0.3)
+        seeds = (101, 103, 107)
+        batch_tail, batch_rate = median_tail(system, pol, 0.95, seeds)
+        from repro.distributions.base import as_rng
+
+        runs = [system.run(pol, as_rng(s)) for s in seeds]
+        assert batch_tail == float(np.median([r.tail(0.95) for r in runs]))
+        assert batch_rate == float(np.median([r.reissue_rate for r in runs]))
+
     def test_compare_policies_keys(self):
         system = queueing_workload(n_queries=2000, utilization=0.3)
         out = compare_policies(

@@ -1,0 +1,215 @@
+"""Seed-for-seed equivalence: fastsim kernel vs the reference event loop.
+
+The acceptance bar for the batch layer: for any fixed seed, the fast
+kernel must produce a ``RunResult`` bit-for-bit identical to
+``simulate_cluster_reference`` — same latencies, same pair logs, same
+utilization floats, same meta counters. Covered axes: policy family,
+queue discipline, load balancer, cancellation, rate spec, and the
+``sample_reissue_for`` service-model protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    ImmediateReissue,
+    MultipleR,
+    NoReissue,
+    SingleD,
+    SingleR,
+)
+from repro.distributions import Exponential, Pareto
+from repro.fastsim import ReplicationSpec, simulate_batch, simulate_replication
+from repro.fastsim.kernel import queue_mode
+from repro.simulation.arrivals import PoissonArrivals
+from repro.simulation.engine import (
+    ClusterConfig,
+    simulate_cluster,
+    simulate_cluster_reference,
+)
+from repro.simulation.workloads import ServiceModel
+
+
+def make_config(**over):
+    defaults = dict(
+        arrivals=PoissonArrivals(1.2),
+        service_model=ServiceModel(Exponential(1.0), correlation=0.5),
+        n_queries=1500,
+        n_servers=4,
+        warmup_fraction=0.05,
+    )
+    defaults.update(over)
+    return ClusterConfig(**defaults)
+
+
+def assert_bitwise_equal(a, b):
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    np.testing.assert_array_equal(
+        a.primary_response_times, b.primary_response_times
+    )
+    np.testing.assert_array_equal(a.reissue_pair_x, b.reissue_pair_x)
+    np.testing.assert_array_equal(a.reissue_pair_y, b.reissue_pair_y)
+    assert a.reissue_rate == b.reissue_rate
+    assert a.utilization == b.utilization
+    assert a.meta == b.meta
+
+
+POLICIES = {
+    "none": NoReissue(),
+    "immediate": ImmediateReissue(1),
+    "singled": SingleD(0.8),
+    "singler": SingleR(0.5, 0.4),
+    "multir": MultipleR([(0.2, 0.3), (0.9, 0.5), (2.0, 1.0)]),
+}
+
+
+class TestPolicyMatrix:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_policies_match_reference(self, name):
+        cfg = make_config()
+        fast = simulate_replication(cfg, POLICIES[name], 17)
+        ref = simulate_cluster_reference(cfg, POLICIES[name], 17)
+        assert_bitwise_equal(fast, ref)
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_simulate_cluster_is_the_kernel(self, name):
+        cfg = make_config()
+        assert_bitwise_equal(
+            simulate_cluster(cfg, POLICIES[name], 23),
+            simulate_replication(cfg, POLICIES[name], 23),
+        )
+
+
+class TestDisciplinesAndBalancers:
+    @pytest.mark.parametrize(
+        "discipline", ["fifo", "prioritized-fifo", "prioritized-lifo"]
+    )
+    def test_disciplines(self, discipline):
+        cfg = make_config(discipline=discipline)
+        pol = SingleR(0.3, 0.6)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 5),
+            simulate_cluster_reference(cfg, pol, 5),
+        )
+
+    @pytest.mark.parametrize(
+        "balancer", ["random", "min-of-2", "min-of-all", "round-robin"]
+    )
+    def test_balancers(self, balancer):
+        cfg = make_config(balancer=balancer)
+        pol = SingleR(0.3, 0.6)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 7),
+            simulate_cluster_reference(cfg, pol, 7),
+        )
+
+    def test_custom_discipline_falls_back_to_reference(self):
+        from repro.simulation.queues import FifoQueue
+
+        class TaggedFifo(FifoQueue):
+            pass
+
+        cfg = make_config(discipline=TaggedFifo)
+        assert queue_mode(cfg) is None  # subclass: no specialization
+        pol = SingleR(0.3, 0.6)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 9),
+            simulate_cluster_reference(cfg, pol, 9),
+        )
+
+
+class TestProtocols:
+    def test_cancellation(self):
+        cfg = make_config(cancel_queued=True, cancel_overhead=0.05)
+        pol = ImmediateReissue(2)
+        fast = simulate_replication(cfg, pol, 11)
+        ref = simulate_cluster_reference(cfg, pol, 11)
+        assert fast.meta["n_cancelled"] > 0
+        assert_bitwise_equal(fast, ref)
+
+    def test_zero_overhead_cancellation_ties(self):
+        # cancel_overhead=0 schedules departures at the current time —
+        # the sharpest event-ordering edge case.
+        cfg = make_config(cancel_queued=True, cancel_overhead=0.0)
+        pol = ImmediateReissue(2)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 13),
+            simulate_cluster_reference(cfg, pol, 13),
+        )
+
+    def test_target_utilization_rate_spec(self):
+        cfg = make_config(arrivals=None, target_utilization=0.35)
+        pol = SingleD(1.0)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 19),
+            simulate_cluster_reference(cfg, pol, 19),
+        )
+
+    def test_heavy_tail_service(self):
+        cfg = make_config(
+            service_model=ServiceModel(Pareto(1.1, 2.0), correlation=0.5),
+            arrivals=None,
+            target_utilization=0.3,
+        )
+        pol = SingleR(8.0, 0.3)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 29),
+            simulate_cluster_reference(cfg, pol, 29),
+        )
+
+    def test_sample_reissue_for_protocol(self):
+        class PerQueryModel(ServiceModel):
+            """Tracks per-query deterministic work, like the search tier."""
+
+            def sample_primary(self, n, rng=None):
+                self._det = super().sample_primary(n, rng)
+                return self._det
+
+            def sample_reissue_for(self, query_id, rng=None):
+                from repro.distributions.base import as_rng
+
+                return float(
+                    self._det[query_id] * as_rng(rng).lognormal(0.0, 0.1)
+                )
+
+        cfg = make_config(service_model=PerQueryModel(Exponential(1.0)))
+        pol = SingleR(0.4, 0.5)
+        assert_bitwise_equal(
+            simulate_replication(cfg, pol, 31),
+            simulate_cluster_reference(cfg, pol, 31),
+        )
+
+
+class TestBatch:
+    def test_batch_matches_single_runs(self):
+        cfg = make_config()
+        pol = SingleR(0.5, 0.4)
+        specs = [ReplicationSpec(cfg, pol, seed=s, key=f"s{s}") for s in (1, 2, 3)]
+        batch = simulate_batch(specs)
+        for spec, run in zip(specs, batch):
+            solo = simulate_cluster(cfg, pol, spec.seed)
+            assert run.meta.pop("key") == spec.key
+            assert_bitwise_equal(run, solo)
+
+    def test_batch_composition_is_inert(self):
+        cfg = make_config()
+        a = ReplicationSpec(cfg, SingleR(0.5, 0.4), seed=42)
+        b = ReplicationSpec(cfg, NoReissue(), seed=43)
+        alone = simulate_batch([a])[0]
+        paired = simulate_batch([b, a])[1]
+        assert_bitwise_equal(alone, paired)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bits(self):
+        cfg = make_config()
+        pol = MultipleR([(0.2, 0.3), (0.9, 0.5)])
+        assert_bitwise_equal(
+            simulate_cluster(cfg, pol, 37), simulate_cluster(cfg, pol, 37)
+        )
+
+    def test_different_seeds_differ(self):
+        cfg = make_config()
+        a = simulate_cluster(cfg, NoReissue(), 1)
+        b = simulate_cluster(cfg, NoReissue(), 2)
+        assert not np.array_equal(a.latencies, b.latencies)

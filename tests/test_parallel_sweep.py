@@ -53,6 +53,33 @@ class TestRunSweep:
         parallel = run_sweep(draw_value, self.points(), base_seed=7, n_workers=3)
         assert [r.value for r in serial] == [r.value for r in parallel]
 
+    @pytest.mark.parametrize("chunk_size", [2, 4, None])
+    def test_chunked_equals_serial(self, chunk_size):
+        serial = run_sweep(draw_value, self.points(), base_seed=7, n_workers=1)
+        chunked = run_sweep(
+            draw_value,
+            self.points(),
+            base_seed=7,
+            n_workers=3,
+            chunk_size=chunk_size,
+        )
+        assert [r.key for r in chunked] == [r.key for r in serial]
+        assert [r.value for r in chunked] == [r.value for r in serial]
+
+    def test_chunked_failures_stay_per_point(self):
+        pts = [
+            SweepPoint("ok1"),
+            SweepPoint("bad", params={"explode": True}),
+            SweepPoint("ok2"),
+        ]
+        res = run_sweep(failing_point, pts, n_workers=2, chunk_size=2)
+        assert [r.ok for r in res] == [True, False, True]
+        assert "boom" in res[1].error
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_sweep(draw_value, self.points(), chunk_size=0)
+
     def test_duplicate_keys_rejected(self):
         pts = [SweepPoint("a"), SweepPoint("a")]
         with pytest.raises(ValueError, match="duplicate"):

@@ -127,15 +127,27 @@ class TestReissueSemantics:
         assert run.reissue_rate == pytest.approx(frac_self, abs=0.02)
 
     def test_reissue_reduces_tail_in_light_load(self):
+        # Median over seed-paired runs, like the paper's §6.3 protocol:
+        # a single Pareto(1.1) run's P99 is dominated by whoever queued
+        # behind the trace's one or two giant jobs, so single-run
+        # comparisons flip sign on unlucky seeds.
         cfg = make_config(
             arrivals=None,
             target_utilization=0.05,
             n_queries=20_000,
             service_model=ServiceModel(Pareto(1.1, 2.0)),
         )
-        base = simulate_cluster(cfg, NoReissue(), 7)
-        hedged = simulate_cluster(cfg, ImmediateReissue(), 7)
-        assert hedged.tail(0.99) < base.tail(0.99)
+        seeds = (7, 8, 9)
+        base = np.median(
+            [simulate_cluster(cfg, NoReissue(), s).tail(0.99) for s in seeds]
+        )
+        hedged = np.median(
+            [
+                simulate_cluster(cfg, ImmediateReissue(), s).tail(0.99)
+                for s in seeds
+            ]
+        )
+        assert hedged < base
 
     def test_multistage_policy_runs(self):
         from repro.core.policies import MultipleR
