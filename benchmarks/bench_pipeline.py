@@ -1,0 +1,132 @@
+"""End-to-end pipeline bench: fig3 via repro.pipeline vs the pre-refactor
+serial driver.
+
+Three executions of the same figure (standard scale, seed 42):
+
+* ``legacy_serial``  — the frozen pre-pipeline fig3 driver
+  (``legacy_fig3.py``), the hand-rolled serial loop every figure used
+  before the refactor;
+* ``pipeline_cold``  — the declarative pipeline, ``--workers 4``, empty
+  cache: plan → dedupe → batch → process-pool dispatch;
+* ``pipeline_resume`` — the same invocation again with the cache
+  populated: the content-addressed resume path (what a re-run, a crashed
+  sweep restart, or a scale upgrade pays).
+
+The recorded ``speedup.resume_vs_legacy_serial`` is the headline number;
+``speedup.cold_vs_legacy_serial`` is hardware-bound (process parallelism
+buys nothing on a single-core runner — ``hardware.cpus`` records what
+this run had).
+
+Run standalone to record the perf trajectory (the committed
+``BENCH_pipeline.json``)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_pipeline.py
+
+or under pytest (asserts equivalence plus the resume-path floor)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_pipeline.py -s
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import legacy_fig3
+
+from repro.experiments import run_experiment
+from repro.pipeline.golden import rows_digest
+
+SCALE = "standard"
+SEED = 42
+WORKERS = 4
+
+
+def measure(scale=SCALE, seed=SEED, workers=WORKERS):
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        t0 = time.perf_counter()
+        legacy = legacy_fig3.run(scale=scale, seed=seed)
+        t_legacy = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cold = run_experiment(
+            "fig3", scale=scale, seed=seed, workers=workers, cache_dir=cache_dir
+        )
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        resume = run_experiment(
+            "fig3", scale=scale, seed=seed, workers=workers, cache_dir=cache_dir
+        )
+        t_resume = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    assert rows_digest(cold.rows) == rows_digest(legacy.rows), (
+        "pipeline fig3 diverged from the pre-refactor serial driver"
+    )
+    assert rows_digest(resume.rows) == rows_digest(legacy.rows)
+
+    return {
+        "figure": "fig3",
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "hardware": {"cpus": os.cpu_count()},
+        "pipeline": {
+            k: cold.meta["pipeline"][k]
+            for k in (
+                "cells_declared",
+                "cells_unique",
+                "cells_merged",
+                "batches",
+                "eval_requests",
+            )
+        },
+        "rows_bit_identical_to_legacy": True,
+        "seconds": {
+            "legacy_serial": round(t_legacy, 3),
+            "pipeline_cold": round(t_cold, 3),
+            "pipeline_resume": round(t_resume, 3),
+        },
+        "speedup": {
+            "cold_vs_legacy_serial": round(t_legacy / t_cold, 2),
+            "resume_vs_legacy_serial": round(t_legacy / t_resume, 2),
+        },
+    }
+
+
+def test_pipeline_resume_speedup():
+    """Acceptance: the pipeline reproduces legacy fig3 bit-for-bit and the
+    cache-resume path beats the pre-refactor serial wall time ≥2× (with
+    big headroom: resume replays reductions only). Reduced scale for CI."""
+    report = measure(scale="quick", workers=2)
+    print()
+    print("pipeline bench (reduced scale):", report["speedup"])
+    assert report["rows_bit_identical_to_legacy"]
+    assert report["speedup"]["resume_vs_legacy_serial"] >= 2.0
+
+
+def main():
+    from _bench_utils import persist_bench_record
+
+    report = measure()
+    path = persist_bench_record("pipeline", report)
+    print(f"fig3 @ {report['scale']} scale, workers={report['workers']}:")
+    for impl, secs in report["seconds"].items():
+        print(f"  {impl:>16}: {secs:7.3f}s")
+    print("speedups:", report["speedup"])
+    print("plan:", report["pipeline"])
+    if path is not None:
+        print("recorded ->", path)
+    if report["speedup"]["resume_vs_legacy_serial"] < 2.0:
+        raise SystemExit("speedup target (>=2x resume vs legacy serial) not met")
+
+
+if __name__ == "__main__":
+    main()

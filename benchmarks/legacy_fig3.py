@@ -1,0 +1,160 @@
+"""Frozen pre-pipeline fig3 driver (PR 2 state) — the serial reference.
+
+This is a verbatim snapshot of ``repro.experiments.fig3`` from before the
+``repro.pipeline`` refactor, kept so ``bench_pipeline.py`` can measure the
+declarative pipeline against the hand-rolled serial protocol it replaced.
+Imports are absolute because this file lives outside the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.correlated import compute_optimal_singler_correlated
+from repro.core.optimizer import compute_optimal_singler, fit_singled_policy
+from repro.core.policies import NoReissue, SingleR
+from repro.distributions.base import as_rng
+from repro.simulation.workloads import (
+    correlated_workload,
+    independent_workload,
+    queueing_workload,
+)
+from repro.viz.ascii_chart import line_chart
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    fit_singled,
+    fit_singler,
+    get_scale,
+    median_tail,
+)
+
+PERCENTILE = 0.95
+WORKLOADS = ("independent", "correlated", "queueing")
+
+
+def make_workload(name: str, n_queries: int):
+    if name == "independent":
+        return independent_workload(n_queries)
+    if name == "correlated":
+        return correlated_workload(n_queries)
+    if name == "queueing":
+        return queueing_workload(n_queries=n_queries, utilization=0.3)
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def _fit_policies(name: str, system, budget: float, scale: Scale, seed: int):
+    """(SingleR, SingleD) fitted per the workload's model (§4.1-§4.3)."""
+    rng = as_rng(seed)
+    if name == "queueing":
+        sr = fit_singler(system, PERCENTILE, budget, scale, rng=rng)
+        sd = fit_singled(system, budget, scale, rng=rng)
+        return sr, sd
+    base = system.run(NoReissue(), rng)
+    rx = base.primary_response_times
+    if name == "correlated":
+        # Collect correlated (X, Y) pairs with an immediate probe policy,
+        # then run the §4.2 conditional-CDF search.
+        probe = system.run(SingleR(0.0, min(1.0, max(budget, 0.05))), rng)
+        fit = compute_optimal_singler_correlated(
+            rx, probe.reissue_pair_x, probe.reissue_pair_y, PERCENTILE, budget
+        )
+    else:
+        fit = compute_optimal_singler(rx, rx, PERCENTILE, budget)
+    return fit.policy, fit_singled_policy(rx, budget)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    budgets=None,
+) -> ExperimentResult:
+    """Regenerate Figure 3 (all three panels, all three workloads)."""
+    scale = get_scale(scale)
+    budgets = (
+        np.asarray(budgets, dtype=np.float64)
+        if budgets is not None
+        else scale.budgets(0.03, 0.30)
+    )
+    headers = [
+        "workload",
+        "budget",
+        "policy",
+        "delay",
+        "prob",
+        "outstanding_at_d",
+        "p95",
+        "reduction_ratio",
+        "remediation",
+        "reissue_rate",
+    ]
+    rows: list[list] = []
+    series_ratio: dict[str, tuple[list, list]] = {}
+    notes: list[str] = []
+
+    for name in WORKLOADS:
+        system = make_workload(name, scale.n_queries)
+        base_tail, _ = median_tail(
+            system, NoReissue(), PERCENTILE, scale.eval_seeds
+        )
+        base_run = system.run(NoReissue(), as_rng(seed))
+        rx_sorted = np.sort(base_run.primary_response_times)
+        sr_xs, sr_ys, sd_xs, sd_ys = [], [], [], []
+        for budget in budgets:
+            sr, sd = _fit_policies(name, system, float(budget), scale, seed)
+            for label, pol in (("SingleR", sr), ("SingleD", sd)):
+                tail, rate = median_tail(
+                    system, pol, PERCENTILE, scale.eval_seeds
+                )
+                d = pol.stages[0][0]
+                q = pol.stages[0][1]
+                outstanding = float(
+                    1.0 - np.searchsorted(rx_sorted, d, side="left") / rx_sorted.size
+                )
+                run_ = system.run(pol, as_rng(seed + 1))
+                remediation = run_.remediation_rate(base_tail, d)
+                ratio = base_tail / tail if tail > 0 else float("inf")
+                rows.append(
+                    [
+                        name,
+                        float(budget),
+                        label,
+                        d,
+                        q,
+                        outstanding,
+                        tail,
+                        ratio,
+                        remediation,
+                        rate,
+                    ]
+                )
+                if label == "SingleR":
+                    sr_xs.append(float(budget))
+                    sr_ys.append(ratio)
+                else:
+                    sd_xs.append(float(budget))
+                    sd_ys.append(ratio)
+        series_ratio[f"{name}/SingleR"] = (sr_xs, sr_ys)
+        series_ratio[f"{name}/SingleD"] = (sd_xs, sd_ys)
+        gaps = [r - d for r, d in zip(sr_ys, sd_ys)]
+        notes.append(
+            f"{name}: baseline P95={base_tail:.1f}; SingleR ratio "
+            f"{min(sr_ys):.2f}-{max(sr_ys):.2f}; SingleR-SingleD gap at "
+            f"smallest budget {gaps[0]:+.2f}"
+        )
+
+    chart = line_chart(
+        series_ratio,
+        title="Fig 3a: P95 reduction ratio vs reissue budget",
+        x_label="budget",
+        y_label="reduction ratio",
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="SingleR vs SingleD across budgets (Independent/Correlated/Queueing)",
+        headers=headers,
+        rows=rows,
+        chart=chart,
+        notes=notes,
+        meta={"percentile": PERCENTILE, "budgets": list(map(float, budgets))},
+    )

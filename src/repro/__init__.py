@@ -8,7 +8,10 @@ Public API highlights:
 * :mod:`repro.systems` — Redis and Lucene substrates (§6).
 * :mod:`repro.serving` — asyncio hedging runtime executing the policies
   against live async backends (``repro-serve``).
-* :mod:`repro.experiments` — drivers regenerating every paper figure.
+* :mod:`repro.pipeline` — declarative, cached, batch-parallel experiment
+  pipeline (spec → plan → execute → cache).
+* :mod:`repro.experiments` — declarative specs + render functions
+  regenerating every paper figure (``repro-experiment``).
 """
 
 from .core import (

@@ -5,9 +5,13 @@ Examples
 ::
 
     repro-experiment list
-    repro-experiment fig3 --scale quick
-    repro-experiment fig7 --scale standard --out results/
-    repro-experiment all --scale quick --out results/
+    repro-experiment run fig3 --scale quick
+    repro-experiment run fig3 --scale standard --workers 4 --cache .repro-cache
+    repro-experiment run fig7 --scale standard --out results/
+    repro-experiment run all --scale quick --out results/
+
+``repro-experiment fig3 ...`` (without the ``run`` subcommand) is kept
+as a back-compatible alias.
 """
 
 from __future__ import annotations
@@ -39,10 +43,21 @@ def _write_outputs(out_dir: Path, result) -> None:
     (out_dir / f"{result.experiment_id}.csv").write_text(result.csv() + "\n")
 
 
-def main(argv=None) -> int:
-    # Behave well in shell pipelines (`repro-experiment list | head`).
-    if hasattr(signal, "SIGPIPE"):
-        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+def _print_list() -> None:
+    for eid in sorted(EXPERIMENTS):
+        print(f"{eid}  {_experiment_summary(EXPERIMENTS[eid])}")
+    print()
+    print("scales:")
+    for name, s in SCALES.items():
+        print(
+            f"  {name:<9} n_queries={s.n_queries}  "
+            f"eval_seeds={len(s.eval_seeds)}  "
+            f"adaptive_trials={s.adaptive_trials}  "
+            f"sweep_points={s.sweep_points}"
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description=(
@@ -50,28 +65,56 @@ def main(argv=None) -> int:
             "Tail Latency' (SPAA 2017)."
         ),
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids and available scales")
+    run_p = sub.add_parser("run", help="run one experiment, or 'all'")
+    run_p.add_argument(
         "experiment",
-        help="experiment id (fig2..fig9), 'all', or 'list'",
+        help="experiment id (fig2..fig9) or 'all'",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--scale",
         default="standard",
         choices=sorted(SCALES),
         help="fidelity/runtime trade-off (default: standard)",
     )
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument(
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pipeline worker processes (default: serial; results are "
+        "bit-for-bit identical either way)",
+    )
+    run_p.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory; re-runs and scale "
+        "upgrades resume instead of recompute",
+    )
+    run_p.add_argument(
         "--out",
         type=Path,
         default=None,
         help="directory for .txt/.csv outputs (default: print to stdout)",
     )
-    args = parser.parse_args(argv)
+    return parser
 
-    if args.experiment == "list":
-        for eid in sorted(EXPERIMENTS):
-            print(f"{eid}  {_experiment_summary(EXPERIMENTS[eid])}")
+
+def main(argv=None) -> int:
+    # Behave well in shell pipelines (`repro-experiment list | head`).
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `repro-experiment fig3 --scale quick` == `... run fig3 ...`.
+    if argv and argv[0] not in {"list", "run", "-h", "--help"}:
+        argv = ["run", *argv]
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        _print_list()
         return 0
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -82,7 +125,13 @@ def main(argv=None) -> int:
 
     for eid in ids:
         t0 = time.perf_counter()
-        result = run_experiment(eid, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            eid,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=args.cache,
+        )
         elapsed = time.perf_counter() - t0
         if args.out is not None:
             _write_outputs(args.out, result)

@@ -17,6 +17,24 @@ from ..distributions.base import RngLike
 from .policies import ReissuePolicy
 
 
+def remediation_rate(
+    pair_x: np.ndarray, pair_y: np.ndarray, tail_target: float, delay: float
+) -> float:
+    """``Pr(X > t  and  Y < t - d)`` over a paired reissue log (§5.1).
+
+    The average value of an added reissue request: the fraction of
+    dispatched reissues that were both needed (primary missed ``t``) and
+    useful (reissue answered before ``t``). Shared by
+    :meth:`RunResult.remediation_rate` and the fig3 render, which works
+    from summarized pair arrays rather than a full ``RunResult``.
+    """
+    if pair_x.size == 0:
+        return 0.0
+    needed = pair_x > tail_target
+    useful = pair_y < tail_target - delay
+    return float(np.mean(needed & useful))
+
+
 @dataclass
 class RunResult:
     """Observables from executing a workload under a reissue policy.
@@ -59,17 +77,10 @@ class RunResult:
         return int(self.latencies.size)
 
     def remediation_rate(self, tail_target: float, delay: float) -> float:
-        """``Pr(X > t  and  Y < t - d)`` over *issued* reissues (§5.1).
-
-        The average value of an added reissue request: the fraction of
-        dispatched reissues that were both needed (primary missed ``t``)
-        and useful (reissue answered before ``t``).
-        """
-        if self.reissue_pair_x.size == 0:
-            return 0.0
-        needed = self.reissue_pair_x > tail_target
-        useful = self.reissue_pair_y < tail_target - delay
-        return float(np.mean(needed & useful))
+        """``Pr(X > t  and  Y < t - d)`` over *issued* reissues (§5.1)."""
+        return remediation_rate(
+            self.reissue_pair_x, self.reissue_pair_y, tail_target, delay
+        )
 
 
 @runtime_checkable
@@ -79,3 +90,24 @@ class SystemUnderTest(Protocol):
     def run(self, policy: ReissuePolicy, rng: RngLike = None) -> RunResult:
         """Execute the workload once under ``policy``."""
         ...
+
+
+@runtime_checkable
+class BatchSystem(SystemUnderTest, Protocol):
+    """A system that can execute many seed-paired replications in one call.
+
+    The contract (guaranteed by the fastsim layer and checked by
+    ``tests/test_fastsim_equivalence.py``): each element of
+    ``run_batch(policy, seeds)`` is bit-for-bit what
+    ``run(policy, as_rng(seed))`` returns for the matching seed — batching
+    changes scheduling, never results.
+    """
+
+    def run_batch(self, policy: ReissuePolicy, seeds) -> list[RunResult]:
+        """Execute one seed-paired replication per entry of ``seeds``."""
+        ...
+
+
+def supports_batch(system) -> bool:
+    """Capability check used by ``median_tail`` and the pipeline executor."""
+    return callable(getattr(system, "run_batch", None))

@@ -1,9 +1,13 @@
 """Experiment drivers: one module per figure of the paper's evaluation.
 
-Every driver exposes ``run(scale=..., seed=...) -> ExperimentResult`` and
-regenerates the corresponding paper figure as an ASCII chart plus CSV
-rows. The registry maps experiment ids (``fig2`` … ``fig9``) to drivers;
-the ``repro-experiment`` CLI and the benchmark harness both dispatch
+Every driver exposes ``build_spec(scale, seed) -> ExperimentSpec`` (the
+figure as a declarative cell DAG — see :mod:`repro.pipeline`) and
+``run(scale=..., seed=..., workers=..., cache_dir=...)
+-> ExperimentResult``, which compiles and executes the spec and renders
+the corresponding paper figure as an ASCII chart plus CSV rows. Serial,
+process-parallel, and cache-replayed runs are bit-for-bit identical.
+The registry maps experiment ids (``fig2`` … ``fig9``) to drivers; the
+``repro-experiment`` CLI and the benchmark harness both dispatch
 through it.
 
 Scales

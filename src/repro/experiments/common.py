@@ -118,16 +118,15 @@ def median_tail(
 ) -> tuple[float, float]:
     """(median k-th percentile latency, median reissue rate) over seeds.
 
-    Systems exposing ``run_batch(policy, seeds)`` (the queueing cluster
-    and the §6 substrates) go through the fastsim batch layer; each
-    replication there is bit-for-bit what ``run(policy, seed)`` returns,
-    so the protocol is unchanged — only cheaper.
+    Systems with the ``supports_batch`` capability (the queueing cluster
+    and the §6 substrates) go through the fastsim batch layer via
+    :func:`repro.fastsim.run_replications`; each replication there is
+    bit-for-bit what ``run(policy, seed)`` returns, so the protocol is
+    unchanged — only cheaper.
     """
-    run_batch = getattr(system, "run_batch", None)
-    if run_batch is not None:
-        runs = run_batch(policy, list(seeds))
-    else:
-        runs = [system.run(policy, as_rng(s)) for s in seeds]
+    from ..fastsim import run_replications
+
+    runs = run_replications(system, policy, seeds)
     tails = [run.tail(percentile) for run in runs]
     rates = [run.reissue_rate for run in runs]
     return float(np.median(tails)), float(np.median(rates))

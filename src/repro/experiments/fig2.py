@@ -6,18 +6,22 @@
   the resulting *SingleR* query latency.
 * (b) The adaptive algorithm's predicted vs actual P95 per trial
   (learning rate 0.2, budget 30%).
+
+Pipeline shape: one adaptive-trace fit cell, one baseline replication,
+and one fitted-policy replication that depends on the fit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.adaptive import AdaptiveSingleROptimizer
 from ..core.policies import NoReissue
-from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.cells import adaptive_trace_cell
+from ..pipeline.spec import system_ref
 from ..simulation.metrics import inverse_cdf_series
 from ..simulation.workloads import queueing_workload
-from ..viz.ascii_chart import line_chart
+from ..viz.ascii_chart import line_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
 
 PERCENTILE = 0.95
@@ -25,77 +29,111 @@ BUDGET = 0.30
 LEARNING_RATE = 0.2
 
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    system = queueing_workload(n_queries=scale.n_queries, utilization=0.3)
-    rng = as_rng(seed)
-
-    # Panel (b): the adaptive trace.
-    opt = AdaptiveSingleROptimizer(
-        percentile=PERCENTILE, budget=BUDGET, learning_rate=LEARNING_RATE
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig2", "Load perturbation and adaptive convergence (30% budget)"
     )
-    adaptive = opt.optimize(
-        system, trials=max(scale.adaptive_trials, 6), rng=rng
-    )
-    policy = adaptive.policy
-
-    # Panel (a): distributions with and without the fitted policy.
-    base = system.run(NoReissue(), as_rng(seed + 1))
-    with_policy = system.run(policy, as_rng(seed + 1))
-    probs = np.linspace(0.60, 0.97, 25)
-    curves = {
-        "Original": inverse_cdf_series(base.primary_response_times, probs),
-        "Primary": inverse_cdf_series(with_policy.primary_response_times, probs),
-        "SingleR": inverse_cdf_series(with_policy.latencies, probs),
-    }
-    if with_policy.reissue_pair_y.size:
-        curves["Reissue"] = inverse_cdf_series(with_policy.reissue_pair_y, probs)
-
-    headers = ["panel", "x", "series", "value"]
-    rows: list[list] = []
-    for name, ys in curves.items():
-        for p, v in zip(probs, ys):
-            rows.append(["a", float(p), name, float(v)])
-    for t in adaptive.trials:
-        rows.append(["b", float(t.trial), "predicted", t.predicted_tail])
-        rows.append(["b", float(t.trial), "actual", t.actual_tail])
-
-    chart_a = line_chart(
-        {k: (probs.tolist(), v.tolist()) for k, v in curves.items()},
-        title="Fig 2a: inverse CDFs under a 30% reissue budget",
-        x_label="CDF(T)",
-        y_label="T",
-    )
-    trials_idx = [float(t.trial) for t in adaptive.trials]
-    chart_b = line_chart(
-        {
-            "predicted": (trials_idx, [t.predicted_tail for t in adaptive.trials]),
-            "actual": (trials_idx, [t.actual_tail for t in adaptive.trials]),
-        },
-        title="Fig 2b: adaptive convergence (P95 per trial)",
-        x_label="trial",
-        y_label="P95",
-        height=12,
+    system = system_ref(
+        queueing_workload, n_queries=scale.n_queries, utilization=0.3
     )
 
-    p85_base = float(np.quantile(base.primary_response_times, 0.85))
-    p85_pert = float(np.quantile(with_policy.primary_response_times, 0.85))
-    gap = abs(adaptive.trials[-1].predicted_tail - adaptive.trials[-1].actual_tail)
-    rel = gap / max(adaptive.trials[-1].actual_tail, 1e-12)
-    notes = [
-        f"P85 of primary distribution moves {p85_base:.1f} -> {p85_pert:.1f} "
-        f"under the 30% budget (paper: 50 -> 350, direction and scale of "
-        f"perturbation is the point)",
-        f"adaptive predicted/actual P95 converge to within {100 * rel:.1f}% "
-        f"after {len(adaptive.trials)} trials (converged={adaptive.converged})",
-        f"final policy: {policy}",
-    ]
-    return ExperimentResult(
-        experiment_id="fig2",
-        title="Load perturbation and adaptive convergence (30% budget)",
-        headers=headers,
-        rows=rows,
-        chart=chart_a + "\n\n" + chart_b,
-        notes=notes,
-        meta={"policy": (policy.delay, policy.prob)},
+    adaptive = sb.cell(
+        "fit/adaptive",
+        adaptive_trace_cell,
+        system=system,
+        percentile=PERCENTILE,
+        budget=BUDGET,
+        learning_rate=LEARNING_RATE,
+        trials=max(scale.adaptive_trials, 6),
+        seed=seed,
     )
+    base = sb.evaluate(
+        system,
+        NoReissue(),
+        seed + 1,
+        measure=("sorted_primary",),
+        key="run/base",
+    )
+    with_policy = sb.evaluate(
+        system,
+        adaptive.attr("policy"),
+        seed + 1,
+        measure=("sorted_primary", "sorted_latencies", "pairs"),
+        key="run/with-policy",
+    )
+
+    def render(rs) -> ExperimentResult:
+        trace = rs[adaptive]
+        policy = trace.policy
+        base_primary = rs[base]["sorted_primary"]
+        wp = rs[with_policy]
+        probs = np.linspace(0.60, 0.97, 25)
+        curves = {
+            "Original": inverse_cdf_series(base_primary, probs),
+            "Primary": inverse_cdf_series(wp["sorted_primary"], probs),
+            "SingleR": inverse_cdf_series(wp["sorted_latencies"], probs),
+        }
+        pair_y = wp["pairs"][1]
+        if pair_y.size:
+            curves["Reissue"] = inverse_cdf_series(pair_y, probs)
+
+        headers = ["panel", "x", "series", "value"]
+        rows: list[list] = []
+        for name, ys in curves.items():
+            for p, v in zip(probs, ys):
+                rows.append(["a", float(p), name, float(v)])
+        for t in trace.trials:
+            rows.append(["b", float(t.trial), "predicted", t.predicted_tail])
+            rows.append(["b", float(t.trial), "actual", t.actual_tail])
+
+        chart_a = line_chart(
+            {k: (probs.tolist(), v.tolist()) for k, v in curves.items()},
+            title="Fig 2a: inverse CDFs under a 30% reissue budget",
+            x_label="CDF(T)",
+            y_label="T",
+        )
+        trials_idx = [float(t.trial) for t in trace.trials]
+        chart_b = line_chart(
+            {
+                "predicted": (trials_idx, [t.predicted_tail for t in trace.trials]),
+                "actual": (trials_idx, [t.actual_tail for t in trace.trials]),
+            },
+            title="Fig 2b: adaptive convergence (P95 per trial)",
+            x_label="trial",
+            y_label="P95",
+            height=12,
+        )
+
+        p85_base = float(np.quantile(base_primary, 0.85))
+        p85_pert = float(np.quantile(wp["sorted_primary"], 0.85))
+        gap = abs(trace.trials[-1].predicted_tail - trace.trials[-1].actual_tail)
+        rel = gap / max(trace.trials[-1].actual_tail, 1e-12)
+        notes = [
+            f"P85 of primary distribution moves {p85_base:.1f} -> {p85_pert:.1f} "
+            f"under the 30% budget (paper: 50 -> 350, direction and scale of "
+            f"perturbation is the point)",
+            f"adaptive predicted/actual P95 converge to within {100 * rel:.1f}% "
+            f"after {len(trace.trials)} trials (converged={trace.converged})",
+            f"final policy: {policy}",
+        ]
+        return ExperimentResult(
+            experiment_id="fig2",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=multi_chart(chart_a, chart_b),
+            notes=notes,
+            meta={"policy": (policy.delay, policy.prob)},
+        )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -10,6 +10,11 @@ Panels (all with reissue budget on the x-axis, 0–30%):
 
 Workloads: Independent, Correlated (r = 0.5), and Queueing (10 servers,
 30% utilization) — all Pareto(1.1, 2) service times.
+
+Pipeline shape: per workload, one baseline replication set, one
+reference run (for the outstanding-fraction axis), and per budget one
+fit cell producing the (SingleR, SingleD) pair; evaluation and
+remediation replications depend on the fitted policies.
 """
 
 from __future__ import annotations
@@ -17,9 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.correlated import compute_optimal_singler_correlated
+from ..core.interfaces import remediation_rate
 from ..core.optimizer import compute_optimal_singler, fit_singled_policy
 from ..core.policies import NoReissue, SingleR
 from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.spec import SystemRef, system_ref
 from ..simulation.workloads import (
     correlated_workload,
     independent_workload,
@@ -32,7 +40,6 @@ from .common import (
     fit_singled,
     fit_singler,
     get_scale,
-    median_tail,
 )
 
 PERCENTILE = 0.95
@@ -49,8 +56,11 @@ def make_workload(name: str, n_queries: int):
     raise KeyError(f"unknown workload {name!r}")
 
 
-def _fit_policies(name: str, system, budget: float, scale: Scale, seed: int):
+def fit_policies_cell(
+    name: str, system: SystemRef, budget: float, scale: Scale, seed: int
+):
     """(SingleR, SingleD) fitted per the workload's model (§4.1-§4.3)."""
+    system = system.build()
     rng = as_rng(seed)
     if name == "queueing":
         sr = fit_singler(system, PERCENTILE, budget, scale, rng=rng)
@@ -70,18 +80,54 @@ def _fit_policies(name: str, system, budget: float, scale: Scale, seed: int):
     return fit.policy, fit_singled_policy(rx, budget)
 
 
-def run(
-    scale: str | Scale = "standard",
-    seed: int = 42,
-    budgets=None,
-) -> ExperimentResult:
-    """Regenerate Figure 3 (all three panels, all three workloads)."""
-    scale = get_scale(scale)
-    budgets = (
-        np.asarray(budgets, dtype=np.float64)
-        if budgets is not None
-        else scale.budgets(0.03, 0.30)
+def build_spec(scale: Scale, seed: int, budgets: np.ndarray):
+    sb = SpecBuilder(
+        "fig3",
+        "SingleR vs SingleD across budgets (Independent/Correlated/Queueing)",
     )
+    per_workload = {}
+    for name in WORKLOADS:
+        system = system_ref(make_workload, name=name, n_queries=scale.n_queries)
+        baseline = sb.evaluate_seeds(
+            system, NoReissue(), scale.eval_seeds, PERCENTILE
+        )
+        base_run = sb.evaluate(
+            system,
+            NoReissue(),
+            seed,
+            measure=("sorted_primary",),
+            key=f"run/{name}/base",
+        )
+        per_budget = []
+        for budget in budgets:
+            fit = sb.cell(
+                f"fit/{name}/b{float(budget):.6g}",
+                fit_policies_cell,
+                name=name,
+                system=system,
+                budget=float(budget),
+                scale=scale,
+                seed=seed,
+            )
+            entries = {}
+            for idx, label in ((0, "SingleR"), (1, "SingleD")):
+                policy = fit.get(idx)
+                entries[label] = {
+                    "policy": policy,
+                    "evals": sb.evaluate_seeds(
+                        system, policy, scale.eval_seeds, PERCENTILE
+                    ),
+                    "remediation": sb.evaluate(
+                        system,
+                        policy,
+                        seed + 1,
+                        measure=("pairs",),
+                        key=f"run/{name}/b{float(budget):.6g}/{label}/remediation",
+                    ),
+                }
+            per_budget.append((float(budget), fit, entries))
+        per_workload[name] = (system, baseline, base_run, per_budget)
+
     headers = [
         "workload",
         "budget",
@@ -94,73 +140,93 @@ def run(
         "remediation",
         "reissue_rate",
     ]
-    rows: list[list] = []
-    series_ratio: dict[str, tuple[list, list]] = {}
-    notes: list[str] = []
 
-    for name in WORKLOADS:
-        system = make_workload(name, scale.n_queries)
-        base_tail, _ = median_tail(
-            system, NoReissue(), PERCENTILE, scale.eval_seeds
+    def render(rs) -> ExperimentResult:
+        rows: list[list] = []
+        series_ratio: dict[str, tuple[list, list]] = {}
+        notes: list[str] = []
+        for name in WORKLOADS:
+            _, baseline, base_run, per_budget = per_workload[name]
+            base_tail, _ = rs.median_tail(baseline, PERCENTILE)
+            rx_sorted = rs[base_run]["sorted_primary"]
+            sr_xs, sr_ys, sd_xs, sd_ys = [], [], [], []
+            for budget, fit, entries in per_budget:
+                pols = rs[fit]
+                for idx, label in ((0, "SingleR"), (1, "SingleD")):
+                    pol = pols[idx]
+                    entry = entries[label]
+                    tail, rate = rs.median_tail(entry["evals"], PERCENTILE)
+                    d = pol.stages[0][0]
+                    q = pol.stages[0][1]
+                    outstanding = float(
+                        1.0
+                        - np.searchsorted(rx_sorted, d, side="left")
+                        / rx_sorted.size
+                    )
+                    pair_x, pair_y = rs[entry["remediation"]]["pairs"]
+                    remediation = remediation_rate(pair_x, pair_y, base_tail, d)
+                    ratio = base_tail / tail if tail > 0 else float("inf")
+                    rows.append(
+                        [
+                            name,
+                            budget,
+                            label,
+                            d,
+                            q,
+                            outstanding,
+                            tail,
+                            ratio,
+                            remediation,
+                            rate,
+                        ]
+                    )
+                    if label == "SingleR":
+                        sr_xs.append(budget)
+                        sr_ys.append(ratio)
+                    else:
+                        sd_xs.append(budget)
+                        sd_ys.append(ratio)
+            series_ratio[f"{name}/SingleR"] = (sr_xs, sr_ys)
+            series_ratio[f"{name}/SingleD"] = (sd_xs, sd_ys)
+            gaps = [r - d for r, d in zip(sr_ys, sd_ys)]
+            notes.append(
+                f"{name}: baseline P95={base_tail:.1f}; SingleR ratio "
+                f"{min(sr_ys):.2f}-{max(sr_ys):.2f}; SingleR-SingleD gap at "
+                f"smallest budget {gaps[0]:+.2f}"
+            )
+
+        chart = line_chart(
+            series_ratio,
+            title="Fig 3a: P95 reduction ratio vs reissue budget",
+            x_label="budget",
+            y_label="reduction ratio",
         )
-        base_run = system.run(NoReissue(), as_rng(seed))
-        rx_sorted = np.sort(base_run.primary_response_times)
-        sr_xs, sr_ys, sd_xs, sd_ys = [], [], [], []
-        for budget in budgets:
-            sr, sd = _fit_policies(name, system, float(budget), scale, seed)
-            for label, pol in (("SingleR", sr), ("SingleD", sd)):
-                tail, rate = median_tail(
-                    system, pol, PERCENTILE, scale.eval_seeds
-                )
-                d = pol.stages[0][0]
-                q = pol.stages[0][1]
-                outstanding = float(
-                    1.0 - np.searchsorted(rx_sorted, d, side="left") / rx_sorted.size
-                )
-                run_ = system.run(pol, as_rng(seed + 1))
-                remediation = run_.remediation_rate(base_tail, d)
-                ratio = base_tail / tail if tail > 0 else float("inf")
-                rows.append(
-                    [
-                        name,
-                        float(budget),
-                        label,
-                        d,
-                        q,
-                        outstanding,
-                        tail,
-                        ratio,
-                        remediation,
-                        rate,
-                    ]
-                )
-                if label == "SingleR":
-                    sr_xs.append(float(budget))
-                    sr_ys.append(ratio)
-                else:
-                    sd_xs.append(float(budget))
-                    sd_ys.append(ratio)
-        series_ratio[f"{name}/SingleR"] = (sr_xs, sr_ys)
-        series_ratio[f"{name}/SingleD"] = (sd_xs, sd_ys)
-        gaps = [r - d for r, d in zip(sr_ys, sd_ys)]
-        notes.append(
-            f"{name}: baseline P95={base_tail:.1f}; SingleR ratio "
-            f"{min(sr_ys):.2f}-{max(sr_ys):.2f}; SingleR-SingleD gap at "
-            f"smallest budget {gaps[0]:+.2f}"
+        return ExperimentResult(
+            experiment_id="fig3",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=chart,
+            notes=notes,
+            meta={"percentile": PERCENTILE, "budgets": list(map(float, budgets))},
         )
 
-    chart = line_chart(
-        series_ratio,
-        title="Fig 3a: P95 reduction ratio vs reissue budget",
-        x_label="budget",
-        y_label="reduction ratio",
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    budgets=None,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    """Regenerate Figure 3 (all three panels, all three workloads)."""
+    scale = get_scale(scale)
+    budgets = (
+        np.asarray(budgets, dtype=np.float64)
+        if budgets is not None
+        else scale.budgets(0.03, 0.30)
     )
-    return ExperimentResult(
-        experiment_id="fig3",
-        title="SingleR vs SingleD across budgets (Independent/Correlated/Queueing)",
-        headers=headers,
-        rows=rows,
-        chart=chart,
-        notes=notes,
-        meta={"percentile": PERCENTILE, "budgets": list(map(float, budgets))},
-    )
+    spec = build_spec(scale, seed, budgets)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -8,6 +8,9 @@ an immediate-probe policy:
 * Queueing workload — queueing delays dampen the correlation: the joint
   distribution fuzzes out, which is exactly why reissue recovers more
   latency under queueing (§5.3).
+
+Pipeline shape: one paired-log replication per workload; the rank
+correlation and clipping happen at render time.
 """
 
 from __future__ import annotations
@@ -16,62 +19,103 @@ import numpy as np
 from scipy import stats
 
 from ..core.policies import SingleR
-from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.spec import system_ref
 from ..simulation.workloads import correlated_workload, queueing_workload
-from ..viz.ascii_chart import scatter_chart
+from ..viz.ascii_chart import multi_chart, scatter_chart
 from .common import ExperimentResult, Scale, get_scale
 
-
-def _pairs(system, seed: int, clip: float):
-    run = system.run(SingleR(0.0, 0.3), as_rng(seed))
-    x, y = run.reissue_pair_x, run.reissue_pair_y
-    keep = (x <= clip) & (y <= clip)
-    # Rank (Spearman) correlation: Pearson is meaningless under
-    # Pareto(1.1) tails, where a single extreme pair dominates the sum.
-    corr = float(stats.spearmanr(x, y).statistic) if x.size > 1 else 0.0
-    return x[keep], y[keep], corr
+PROBE = SingleR(0.0, 0.3)
+CLIP = 2000.0  # the paper plots the [0, 2000] x [0, 2000] window
 
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    clip = 2000.0  # the paper plots the [0, 2000] x [0, 2000] window
-
-    cx, cy, corr_c = _pairs(correlated_workload(scale.n_queries), seed, clip)
-    qx, qy, corr_q = _pairs(
-        queueing_workload(n_queries=scale.n_queries, utilization=0.3), seed, clip
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig4",
+        "Primary/reissue response-time correlation (Correlated vs Queueing)",
     )
+    pairs = {
+        "correlated": sb.evaluate(
+            system_ref(correlated_workload, n_queries=scale.n_queries),
+            PROBE,
+            seed,
+            measure=("pairs",),
+            key="run/correlated/probe",
+        ),
+        "queueing": sb.evaluate(
+            system_ref(
+                queueing_workload, n_queries=scale.n_queries, utilization=0.3
+            ),
+            PROBE,
+            seed,
+            measure=("pairs",),
+            key="run/queueing/probe",
+        ),
+    }
 
-    headers = ["panel", "primary", "reissue"]
-    rows: list[list] = []
-    stride_c = max(1, cx.size // 400)
-    for x, y in zip(cx[::stride_c], cy[::stride_c]):
-        rows.append(["correlated", float(x), float(y)])
-    stride_q = max(1, qx.size // 400)
-    for x, y in zip(qx[::stride_q], qy[::stride_q]):
-        rows.append(["queueing", float(x), float(y)])
+    def render(rs) -> ExperimentResult:
+        clipped = {}
+        corr = {}
+        for panel, handle in pairs.items():
+            x, y = rs[handle]["pairs"]
+            keep = (x <= CLIP) & (y <= CLIP)
+            # Rank (Spearman) correlation: Pearson is meaningless under
+            # Pareto(1.1) tails, where a single extreme pair dominates
+            # the sum.
+            corr[panel] = (
+                float(stats.spearmanr(x, y).statistic) if x.size > 1 else 0.0
+            )
+            clipped[panel] = (x[keep], y[keep])
 
-    chart = (
-        scatter_chart(
-            cx, cy, title="Fig 4a: Correlated workload", x_label="primary",
-            y_label="reissue",
+        headers = ["panel", "primary", "reissue"]
+        rows: list[list] = []
+        for panel in ("correlated", "queueing"):
+            x, y = clipped[panel]
+            stride = max(1, x.size // 400)
+            for xi, yi in zip(x[::stride], y[::stride]):
+                rows.append([panel, float(xi), float(yi)])
+
+        chart = multi_chart(
+            scatter_chart(
+                *clipped["correlated"],
+                title="Fig 4a: Correlated workload",
+                x_label="primary",
+                y_label="reissue",
+            ),
+            scatter_chart(
+                *clipped["queueing"],
+                title="Fig 4b: Queueing workload",
+                x_label="primary",
+                y_label="reissue",
+            ),
         )
-        + "\n\n"
-        + scatter_chart(
-            qx, qy, title="Fig 4b: Queueing workload", x_label="primary",
-            y_label="reissue",
+        notes = [
+            f"rank (spearman) correlation: correlated={corr['correlated']:.3f}, "
+            f"queueing={corr['queueing']:.3f} "
+            "(queueing should be visibly weaker: added queueing randomness "
+            "dampens the service-time correlation)",
+        ]
+        return ExperimentResult(
+            experiment_id="fig4",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=chart,
+            notes=notes,
+            meta={
+                "corr_correlated": corr["correlated"],
+                "corr_queueing": corr["queueing"],
+            },
         )
-    )
-    notes = [
-        f"rank (spearman) correlation: correlated={corr_c:.3f}, queueing={corr_q:.3f} "
-        "(queueing should be visibly weaker: added queueing randomness "
-        "dampens the service-time correlation)",
-    ]
-    return ExperimentResult(
-        experiment_id="fig4",
-        title="Primary/reissue response-time correlation (Correlated vs Queueing)",
-        headers=headers,
-        rows=rows,
-        chart=chart,
-        notes=notes,
-        meta={"corr_correlated": corr_c, "corr_queueing": corr_q},
-    )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

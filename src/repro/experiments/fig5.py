@@ -8,6 +8,11 @@ queue discipline (§5.4).
   balancing (better balancing lowers the baseline; SingleR still wins);
 * (c) P95 vs reissue rate under Baseline FIFO / Prioritized FIFO /
   Prioritized LIFO reissue handling (modest impact).
+
+Pipeline shape: one fit cell per (variant, budget) point, with the
+panel-a r=0 baseline, panel-b random-balancer baseline, and panel-c
+FIFO baseline all deduping into the same replications (they are the
+same system configuration spelled three ways).
 """
 
 from __future__ import annotations
@@ -15,99 +20,145 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.policies import NoReissue
-from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.cells import fit_singler_cell
+from ..pipeline.spec import system_ref
 from ..simulation.workloads import queueing_workload
-from ..viz.ascii_chart import line_chart
-from .common import (
-    ExperimentResult,
-    Scale,
-    fit_singler,
-    get_scale,
-    median_tail,
-)
+from ..viz.ascii_chart import line_chart, multi_chart
+from .common import ExperimentResult, Scale, get_scale
 
 PERCENTILE = 0.95
 
+PANELS = {
+    "b": ("balancer", ["random", "min-of-2", "min-of-all"]),
+    "c": ("discipline", ["fifo", "prioritized-fifo", "prioritized-lifo"]),
+}
 
-def _tail_at_budget(system, budget, scale, seed):
-    policy = fit_singler(system, PERCENTILE, budget, scale, rng=as_rng(seed))
-    tail, rate = median_tail(system, policy, PERCENTILE, scale.eval_seeds)
-    return tail, rate, policy
 
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig5", "Sensitivity: correlation ratio, load balancing, queue discipline"
+    )
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    headers = ["panel", "variant", "x", "p95", "reissue_rate"]
-    rows: list[list] = []
-    notes: list[str] = []
+    def point(label: str, system, budget: float):
+        """One fitted SingleR point: fit cell + its evaluation cells."""
+        fit = sb.cell(
+            f"fit/{label}",
+            fit_singler_cell,
+            system=system,
+            percentile=PERCENTILE,
+            budget=budget,
+            scale=scale,
+            seed=seed,
+        )
+        evals = sb.evaluate_seeds(system, fit, scale.eval_seeds, PERCENTILE)
+        return evals
 
     # Panel (a): correlation sweep at fixed 25% budget.
     ratios = np.linspace(0.0, 1.0, scale.sweep_points)
-    ys_a = []
+    panel_a = []
     base_a = None
     for r in ratios:
-        system = queueing_workload(
-            n_queries=scale.n_queries, utilization=0.3, ratio=float(r)
+        system = system_ref(
+            queueing_workload,
+            n_queries=scale.n_queries,
+            utilization=0.3,
+            ratio=float(r),
         )
         if base_a is None:
-            base_a, _ = median_tail(
-                system, NoReissue(), PERCENTILE, scale.eval_seeds
+            base_a = sb.evaluate_seeds(
+                system, NoReissue(), scale.eval_seeds, PERCENTILE
             )
-        tail, rate, _ = _tail_at_budget(system, 0.25, scale, seed)
-        ys_a.append(tail)
-        rows.append(["a", "SingleR@25%", float(r), tail, rate])
-    rows.append(["a", "no-reissue", 0.0, base_a, 0.0])
-    n_below = sum(1 for y in ys_a if y < base_a)
-    notes.append(
-        f"correlation sweep: P95 grows {ys_a[0]:.0f} -> {ys_a[-1]:.0f} as "
-        f"r goes 0 -> 1; {n_below}/{len(ys_a)} points below the "
-        f"no-reissue {base_a:.0f}"
-    )
+        panel_a.append((float(r), point(f"a/r{float(r):.6g}", system, 0.25)))
 
     # Panels (b) and (c): budget sweeps per variant.
     budgets = scale.budgets(0.05, 0.50)
-    panels = {
-        "b": ("balancer", ["random", "min-of-2", "min-of-all"]),
-        "c": ("discipline", ["fifo", "prioritized-fifo", "prioritized-lifo"]),
-    }
-    charts = []
-    for panel, (dim, variants) in panels.items():
-        series = {}
+    panel_bc = {}
+    for panel, (dim, variants) in PANELS.items():
         for variant in variants:
-            kwargs = {dim: variant, "ratio": 0.0}
-            system = queueing_workload(
-                n_queries=scale.n_queries, utilization=0.3, **kwargs
+            system = system_ref(
+                queueing_workload,
+                n_queries=scale.n_queries,
+                utilization=0.3,
+                ratio=0.0,
+                **{dim: variant},
             )
-            base, _ = median_tail(
-                system, NoReissue(), PERCENTILE, scale.eval_seeds
+            baseline = sb.evaluate_seeds(
+                system, NoReissue(), scale.eval_seeds, PERCENTILE
             )
-            rows.append([panel, variant, 0.0, base, 0.0])
-            xs, ys = [0.0], [base]
-            for budget in budgets:
-                tail, rate, _ = _tail_at_budget(system, float(budget), scale, seed)
-                rows.append([panel, variant, float(budget), tail, rate])
-                xs.append(float(budget))
-                ys.append(tail)
-            series[variant] = (xs, ys)
-            notes.append(
-                f"panel {panel} / {variant}: baseline {base:.0f}, best "
-                f"{min(ys[1:]):.0f} ({base / max(min(ys[1:]), 1e-9):.1f}x)"
-            )
-        charts.append(
-            line_chart(
-                series,
-                title=f"Fig 5{panel}: P95 vs reissue rate by {dim}",
-                x_label="reissue rate",
-                y_label="P95",
-                height=14,
-            )
+            points = [
+                (
+                    float(b),
+                    point(f"{panel}/{variant}/b{float(b):.6g}", system, float(b)),
+                )
+                for b in budgets
+            ]
+            panel_bc[(panel, variant)] = (baseline, points)
+
+    def render(rs) -> ExperimentResult:
+        headers = ["panel", "variant", "x", "p95", "reissue_rate"]
+        rows: list[list] = []
+        notes: list[str] = []
+
+        base_tail_a, _ = rs.median_tail(base_a, PERCENTILE)
+        ys_a = []
+        for r, evals in panel_a:
+            tail, rate = rs.median_tail(evals, PERCENTILE)
+            ys_a.append(tail)
+            rows.append(["a", "SingleR@25%", r, tail, rate])
+        rows.append(["a", "no-reissue", 0.0, base_tail_a, 0.0])
+        n_below = sum(1 for y in ys_a if y < base_tail_a)
+        notes.append(
+            f"correlation sweep: P95 grows {ys_a[0]:.0f} -> {ys_a[-1]:.0f} as "
+            f"r goes 0 -> 1; {n_below}/{len(ys_a)} points below the "
+            f"no-reissue {base_tail_a:.0f}"
         )
 
-    return ExperimentResult(
-        experiment_id="fig5",
-        title="Sensitivity: correlation ratio, load balancing, queue discipline",
-        headers=headers,
-        rows=rows,
-        chart="\n\n".join(charts),
-        notes=notes,
-    )
+        charts = []
+        for panel, (dim, variants) in PANELS.items():
+            series = {}
+            for variant in variants:
+                baseline, points = panel_bc[(panel, variant)]
+                base, _ = rs.median_tail(baseline, PERCENTILE)
+                rows.append([panel, variant, 0.0, base, 0.0])
+                xs, ys = [0.0], [base]
+                for b, evals in points:
+                    tail, rate = rs.median_tail(evals, PERCENTILE)
+                    rows.append([panel, variant, b, tail, rate])
+                    xs.append(b)
+                    ys.append(tail)
+                series[variant] = (xs, ys)
+                notes.append(
+                    f"panel {panel} / {variant}: baseline {base:.0f}, best "
+                    f"{min(ys[1:]):.0f} ({base / max(min(ys[1:]), 1e-9):.1f}x)"
+                )
+            charts.append(
+                line_chart(
+                    series,
+                    title=f"Fig 5{panel}: P95 vs reissue rate by {dim}",
+                    x_label="reissue rate",
+                    y_label="P95",
+                    height=14,
+                )
+            )
+
+        return ExperimentResult(
+            experiment_id="fig5",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=multi_chart(*charts),
+            notes=notes,
+        )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

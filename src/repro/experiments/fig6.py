@@ -4,6 +4,10 @@ service times at 20/30/50% utilization (§5.4).
 Checks two of the paper's headline observations: reissuing buys more at
 lower utilization (but still ≥1.5x at 50%), and higher target percentiles
 benefit more.
+
+Pipeline shape: per (distribution, utilization) system, the P95 and P99
+baselines merge into one replication set evaluated at both percentiles;
+each (percentile, budget) point is an independent fit cell.
 """
 
 from __future__ import annotations
@@ -12,16 +16,12 @@ import numpy as np
 
 from ..core.policies import NoReissue
 from ..distributions import Exponential, LogNormal
-from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.cells import fit_singler_cell
+from ..pipeline.spec import system_ref
 from ..simulation.workloads import queueing_workload
 from ..viz.ascii_chart import line_chart
-from .common import (
-    ExperimentResult,
-    Scale,
-    fit_singler,
-    get_scale,
-    median_tail,
-)
+from .common import ExperimentResult, Scale, get_scale
 
 UTILIZATIONS = (0.2, 0.3, 0.5)
 DISTRIBUTIONS = {
@@ -31,68 +31,110 @@ DISTRIBUTIONS = {
 PERCENTILES = (0.95, 0.99)
 
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    budgets = scale.budgets(0.05, 0.50)
-    headers = [
-        "distribution",
-        "utilization",
-        "percentile",
-        "budget",
-        "tail",
-        "reduction",
-        "reissue_rate",
-    ]
-    rows: list[list] = []
-    notes: list[str] = []
-    series: dict[str, tuple[list, list]] = {}
+def make_system(dist_name: str, utilization: float, n_queries: int):
+    if dist_name not in DISTRIBUTIONS:
+        raise KeyError(f"unknown distribution {dist_name!r}")
+    return queueing_workload(
+        n_queries=n_queries,
+        utilization=utilization,
+        ratio=0.0,
+        base=DISTRIBUTIONS[dist_name](),
+    )
 
-    for dist_name, make_dist in DISTRIBUTIONS.items():
+
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig6", "Utilization / service distribution / percentile sensitivity"
+    )
+    budgets = scale.budgets(0.05, 0.50)
+    matrix = []
+    for dist_name in DISTRIBUTIONS:
         for util in UTILIZATIONS:
-            system = queueing_workload(
-                n_queries=scale.n_queries,
+            system = system_ref(
+                make_system,
+                dist_name=dist_name,
                 utilization=util,
-                ratio=0.0,
-                base=make_dist(),
+                n_queries=scale.n_queries,
             )
             for pct in PERCENTILES:
-                base, _ = median_tail(system, NoReissue(), pct, scale.eval_seeds)
-                xs, ys = [], []
-                for budget in budgets:
-                    policy = fit_singler(
-                        system, pct, float(budget), scale, rng=as_rng(seed)
-                    )
-                    tail, rate = median_tail(
-                        system, policy, pct, scale.eval_seeds
-                    )
-                    red = base / tail if tail > 0 else float("inf")
-                    rows.append(
-                        [dist_name, util, pct, float(budget), tail, red, rate]
-                    )
-                    xs.append(float(budget))
-                    ys.append(red)
-                key = f"{dist_name}@{int(util * 100)}%/P{int(pct * 100)}"
-                series[key] = (xs, ys)
-                notes.append(
-                    f"{key}: reduction {min(ys):.2f}-{max(ys):.2f} "
-                    f"(baseline {base:.1f})"
+                baseline = sb.evaluate_seeds(
+                    system, NoReissue(), scale.eval_seeds, pct
                 )
+                points = []
+                for budget in budgets:
+                    fit = sb.cell(
+                        f"fit/{dist_name}/u{util}/p{pct}/b{float(budget):.6g}",
+                        fit_singler_cell,
+                        system=system,
+                        percentile=pct,
+                        budget=float(budget),
+                        scale=scale,
+                        seed=seed,
+                    )
+                    evals = sb.evaluate_seeds(
+                        system, fit, scale.eval_seeds, pct
+                    )
+                    points.append((float(budget), evals))
+                matrix.append((dist_name, util, pct, baseline, points))
 
-    # Chart P99 LogNormal only (representative); full data in rows.
-    chart_series = {
-        k: v for k, v in series.items() if k.startswith("LogNormal") and "P99" in k
-    }
-    chart = line_chart(
-        chart_series or series,
-        title="Fig 6: P99 reduction vs budget, LogNormal(1,1) by utilization",
-        x_label="reissue rate",
-        y_label="reduction",
-    )
-    return ExperimentResult(
-        experiment_id="fig6",
-        title="Utilization / service distribution / percentile sensitivity",
-        headers=headers,
-        rows=rows,
-        chart=chart,
-        notes=notes,
-    )
+    def render(rs) -> ExperimentResult:
+        headers = [
+            "distribution",
+            "utilization",
+            "percentile",
+            "budget",
+            "tail",
+            "reduction",
+            "reissue_rate",
+        ]
+        rows: list[list] = []
+        notes: list[str] = []
+        series: dict[str, tuple[list, list]] = {}
+        for dist_name, util, pct, baseline, points in matrix:
+            base, _ = rs.median_tail(baseline, pct)
+            xs, ys = [], []
+            for budget, evals in points:
+                tail, rate = rs.median_tail(evals, pct)
+                red = base / tail if tail > 0 else float("inf")
+                rows.append([dist_name, util, pct, budget, tail, red, rate])
+                xs.append(budget)
+                ys.append(red)
+            key = f"{dist_name}@{int(util * 100)}%/P{int(pct * 100)}"
+            series[key] = (xs, ys)
+            notes.append(
+                f"{key}: reduction {min(ys):.2f}-{max(ys):.2f} "
+                f"(baseline {base:.1f})"
+            )
+
+        # Chart P99 LogNormal only (representative); full data in rows.
+        chart_series = {
+            k: v
+            for k, v in series.items()
+            if k.startswith("LogNormal") and "P99" in k
+        }
+        chart = line_chart(
+            chart_series or series,
+            title="Fig 6: P99 reduction vs budget, LogNormal(1,1) by utilization",
+            x_label="reissue rate",
+            y_label="reduction",
+        )
+        return ExperimentResult(
+            experiment_id="fig6",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=chart,
+            notes=notes,
+        )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -9,25 +9,26 @@
 Shape checks: SingleR ≤ SingleD everywhere with a visible gap at small
 budgets; reissue keeps helping at 60% utilization; the Redis tail
 collapse is larger than Lucene's.
+
+Pipeline shape: the three panels share one pool of cells — the 40%
+baselines appear in all three and execute once, fits reached from two
+budget grids merge, and each panel-c budget search is a single
+sequential cell fed by the shared baseline reduction.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.budget_search import find_optimal_budget
 from ..core.policies import NoReissue
-from ..distributions.base import as_rng
-from ..systems import LuceneClusterSystem, RedisClusterSystem
-from ..viz.ascii_chart import line_chart
-from .common import (
-    ExperimentResult,
-    Scale,
-    fit_singled,
-    fit_singler,
-    get_scale,
-    median_tail,
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.cells import (
+    budget_search_cell,
+    fit_singled_cell,
+    fit_singler_cell,
 )
+from ..pipeline.spec import system_ref
+from ..systems import LuceneClusterSystem, RedisClusterSystem
+from ..viz.ascii_chart import line_chart, multi_chart
+from .common import ExperimentResult, Scale, get_scale
 
 PERCENTILE = 0.99
 SYSTEMS = ("redis", "lucene")
@@ -41,131 +42,190 @@ def make_system(name: str, utilization: float, n_queries: int):
     raise KeyError(f"unknown system {name!r}")
 
 
-def _panel_a(scale: Scale, seed: int, rows, notes, charts):
-    budgets = scale.budgets(0.01, 0.06)
-    for name in SYSTEMS:
-        system = make_system(name, 0.4, scale.n_queries)
-        base, _ = median_tail(system, NoReissue(), PERCENTILE, scale.eval_seeds)
-        series = {"SingleR": ([0.0], [base]), "SingleD": ([0.0], [base])}
-        rows.append(["a", name, "baseline", 0.0, base, 0.0])
-        for budget in budgets:
-            sr = fit_singler(system, PERCENTILE, float(budget), scale, rng=as_rng(seed))
-            sd = fit_singled(system, float(budget), scale, rng=as_rng(seed))
-            for label, pol in (("SingleR", sr), ("SingleD", sd)):
-                tail, rate = median_tail(system, pol, PERCENTILE, scale.eval_seeds)
-                rows.append(["a", name, label, float(budget), tail, rate])
-                series[label][0].append(rate)
-                series[label][1].append(tail)
-        sr_best = min(series["SingleR"][1][1:])
-        sd_best = min(series["SingleD"][1][1:])
-        notes.append(
-            f"{name}@40%: baseline P99={base:.0f}, best SingleR={sr_best:.0f} "
-            f"({100 * (1 - sr_best / base):.0f}% lower), best SingleD="
-            f"{sd_best:.0f}"
-        )
-        charts.append(
-            line_chart(
-                series,
-                title=f"Fig 7a ({name}): P99 vs reissue rate at 40% util",
-                x_label="reissue rate",
-                y_label="P99",
-                height=12,
-            )
+def build_spec(scale: Scale, seed: int, panels: str):
+    sb = SpecBuilder(
+        "fig7", "Redis / Lucene system experiments (P99 vs budget, utilization)"
+    )
+
+    def system_at(name: str, util: float):
+        return system_ref(
+            make_system, name=name, utilization=util, n_queries=scale.n_queries
         )
 
-
-def _panel_b(scale: Scale, seed: int, rows, notes):
-    budget_grid = {
-        "redis": scale.budgets(0.02, 0.30),
-        "lucene": scale.budgets(0.01, 0.08),
-    }
-    for name in SYSTEMS:
-        for util in (0.2, 0.4, 0.6):
-            system = make_system(name, util, scale.n_queries)
-            base, _ = median_tail(
-                system, NoReissue(), PERCENTILE, scale.eval_seeds
-            )
-            rows.append(["b", name, f"util={util}", 0.0, base, 0.0])
-            best = base
-            for budget in budget_grid[name]:
-                pol = fit_singler(
-                    system, PERCENTILE, float(budget), scale, rng=as_rng(seed)
-                )
-                tail, rate = median_tail(
-                    system, pol, PERCENTILE, scale.eval_seeds
-                )
-                rows.append(["b", name, f"util={util}", float(budget), tail, rate])
-                best = min(best, tail)
-            notes.append(
-                f"{name}@{int(util * 100)}%: baseline {base:.0f} -> best "
-                f"{best:.0f} over the budget sweep"
-            )
-
-
-def _panel_c(scale: Scale, seed: int, rows, notes):
-    utils = (0.2, 0.3, 0.4, 0.5, 0.6)
-    for name in SYSTEMS:
-        xs, no_r, best_r = [], [], []
-        for util in utils:
-            system = make_system(name, util, scale.n_queries)
-            base, _ = median_tail(
-                system, NoReissue(), PERCENTILE, scale.eval_seeds
-            )
-
-            def evaluate(budget: float, _sys=system) -> float:
-                if budget <= 0.0:
-                    return base
-                pol = fit_singler(
-                    _sys, PERCENTILE, budget, scale, rng=as_rng(seed)
-                )
-                tail, _ = median_tail(
-                    _sys, pol, PERCENTILE, scale.eval_seeds[:2]
-                )
-                return tail
-
-            search = find_optimal_budget(
-                evaluate,
-                initial_step=0.02,
-                max_trials=max(4, scale.adaptive_trials),
-                baseline_latency=base,
-            )
-            rows.append(["c", name, "no-reissue", util, base, 0.0])
-            rows.append(
-                ["c", name, "best-budget", util, search.best_latency,
-                 search.best_budget]
-            )
-            xs.append(util)
-            no_r.append(base)
-            best_r.append(search.best_latency)
-        notes.append(
-            f"{name}: best-budget P99 stays below no-reissue at every "
-            f"utilization ({['%.0f' % v for v in best_r]} vs "
-            f"{['%.0f' % v for v in no_r]})"
+    def baseline_at(name: str, util: float):
+        return sb.evaluate_seeds(
+            system_at(name, util), NoReissue(), scale.eval_seeds, PERCENTILE
         )
+
+    def singler_point(name: str, util: float, budget: float, tag: str):
+        system = system_at(name, util)
+        fit = sb.cell(
+            f"fit/sr/{name}/u{util}/b{budget:.6g}/{tag}",
+            fit_singler_cell,
+            system=system,
+            percentile=PERCENTILE,
+            budget=budget,
+            scale=scale,
+            seed=seed,
+        )
+        return sb.evaluate_seeds(system, fit, scale.eval_seeds, PERCENTILE)
+
+    plan: dict = {"panels": panels}
+
+    if "a" in panels:
+        budgets = scale.budgets(0.01, 0.06)
+        panel_a = {}
+        for name in SYSTEMS:
+            system = system_at(name, 0.4)
+            entries = []
+            for budget in budgets:
+                b = float(budget)
+                sr_evals = singler_point(name, 0.4, b, "a")
+                sd_fit = sb.cell(
+                    f"fit/sd/{name}/u0.4/b{b:.6g}/a",
+                    fit_singled_cell,
+                    system=system,
+                    budget=b,
+                    scale=scale,
+                    seed=seed,
+                )
+                sd_evals = sb.evaluate_seeds(
+                    system, sd_fit, scale.eval_seeds, PERCENTILE
+                )
+                entries.append((b, sr_evals, sd_evals))
+            panel_a[name] = (baseline_at(name, 0.4), entries)
+        plan["a"] = panel_a
+
+    if "b" in panels:
+        budget_grid = {
+            "redis": scale.budgets(0.02, 0.30),
+            "lucene": scale.budgets(0.01, 0.08),
+        }
+        panel_b = {}
+        for name in SYSTEMS:
+            for util in (0.2, 0.4, 0.6):
+                points = [
+                    (float(b), singler_point(name, util, float(b), "b"))
+                    for b in budget_grid[name]
+                ]
+                panel_b[(name, util)] = (baseline_at(name, util), points)
+        plan["b"] = panel_b
+
+    if "c" in panels:
+        panel_c = {}
+        for name in SYSTEMS:
+            for util in (0.2, 0.3, 0.4, 0.5, 0.6):
+                baseline = baseline_at(name, util)
+                base_stat = sb.median_tail_cell(
+                    f"reduce/base/{name}/u{util}", baseline, PERCENTILE
+                )
+                search = sb.cell(
+                    f"search/{name}/u{util}",
+                    budget_search_cell,
+                    system=system_at(name, util),
+                    percentile=PERCENTILE,
+                    scale=scale,
+                    seed=seed,
+                    baseline=base_stat,
+                    initial_step=0.02,
+                    max_trials=max(4, scale.adaptive_trials),
+                )
+                panel_c[(name, util)] = (baseline, search)
+        plan["c"] = panel_c
+
+    def render(rs) -> ExperimentResult:
+        headers = ["panel", "system", "series", "x", "p99", "reissue_rate"]
+        rows: list[list] = []
+        notes: list[str] = []
+        charts: list[str] = []
+
+        if "a" in panels:
+            for name in SYSTEMS:
+                baseline, entries = plan["a"][name]
+                base, _ = rs.median_tail(baseline, PERCENTILE)
+                series = {"SingleR": ([0.0], [base]), "SingleD": ([0.0], [base])}
+                rows.append(["a", name, "baseline", 0.0, base, 0.0])
+                for budget, sr_evals, sd_evals in entries:
+                    for label, evals in (
+                        ("SingleR", sr_evals),
+                        ("SingleD", sd_evals),
+                    ):
+                        tail, rate = rs.median_tail(evals, PERCENTILE)
+                        rows.append(["a", name, label, budget, tail, rate])
+                        series[label][0].append(rate)
+                        series[label][1].append(tail)
+                sr_best = min(series["SingleR"][1][1:])
+                sd_best = min(series["SingleD"][1][1:])
+                notes.append(
+                    f"{name}@40%: baseline P99={base:.0f}, best SingleR="
+                    f"{sr_best:.0f} ({100 * (1 - sr_best / base):.0f}% lower), "
+                    f"best SingleD={sd_best:.0f}"
+                )
+                charts.append(
+                    line_chart(
+                        series,
+                        title=f"Fig 7a ({name}): P99 vs reissue rate at 40% util",
+                        x_label="reissue rate",
+                        y_label="P99",
+                        height=12,
+                    )
+                )
+
+        if "b" in panels:
+            for name in SYSTEMS:
+                for util in (0.2, 0.4, 0.6):
+                    baseline, points = plan["b"][(name, util)]
+                    base, _ = rs.median_tail(baseline, PERCENTILE)
+                    rows.append(["b", name, f"util={util}", 0.0, base, 0.0])
+                    best = base
+                    for budget, evals in points:
+                        tail, rate = rs.median_tail(evals, PERCENTILE)
+                        rows.append(["b", name, f"util={util}", budget, tail, rate])
+                        best = min(best, tail)
+                    notes.append(
+                        f"{name}@{int(util * 100)}%: baseline {base:.0f} -> best "
+                        f"{best:.0f} over the budget sweep"
+                    )
+
+        if "c" in panels:
+            for name in SYSTEMS:
+                no_r, best_r = [], []
+                for util in (0.2, 0.3, 0.4, 0.5, 0.6):
+                    baseline, search = plan["c"][(name, util)]
+                    base, _ = rs.median_tail(baseline, PERCENTILE)
+                    found = rs[search]
+                    rows.append(["c", name, "no-reissue", util, base, 0.0])
+                    rows.append(
+                        ["c", name, "best-budget", util, found.best_latency,
+                         found.best_budget]
+                    )
+                    no_r.append(base)
+                    best_r.append(found.best_latency)
+                notes.append(
+                    f"{name}: best-budget P99 stays below no-reissue at every "
+                    f"utilization ({['%.0f' % v for v in best_r]} vs "
+                    f"{['%.0f' % v for v in no_r]})"
+                )
+
+        return ExperimentResult(
+            experiment_id="fig7",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=multi_chart(*charts),
+            notes=notes,
+            meta={"panels": panels},
+        )
+
+    return sb.build(render)
 
 
 def run(
     scale: str | Scale = "standard",
     seed: int = 42,
     panels: str = "abc",
+    workers: int | None = None,
+    cache_dir=None,
 ) -> ExperimentResult:
-    scale = get_scale(scale)
-    headers = ["panel", "system", "series", "x", "p99", "reissue_rate"]
-    rows: list[list] = []
-    notes: list[str] = []
-    charts: list[str] = []
-    if "a" in panels:
-        _panel_a(scale, seed, rows, notes, charts)
-    if "b" in panels:
-        _panel_b(scale, seed, rows, notes)
-    if "c" in panels:
-        _panel_c(scale, seed, rows, notes)
-    return ExperimentResult(
-        experiment_id="fig7",
-        title="Redis / Lucene system experiments (P99 vs budget, utilization)",
-        headers=headers,
-        rows=rows,
-        chart="\n\n".join(charts),
-        notes=notes,
-        meta={"panels": panels},
-    )
+    spec = build_spec(get_scale(scale), seed, panels)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -4,95 +4,111 @@ Redis set-intersection workload at 20% utilization.
 Reproduces the two panels: trial budget per trial number (expanding /
 halving steps around the optimum) and trial P99 per trial number, with
 the running best marked.
+
+Pipeline shape: the baseline replications and their median reduction
+feed a single sequential budget-search cell (the search is adaptive —
+each probe depends on the previous one — so it cannot fan out).
 """
 
 from __future__ import annotations
 
-from ..core.budget_search import find_optimal_budget
 from ..core.policies import NoReissue
-from ..distributions.base import as_rng
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.cells import budget_search_cell
+from ..pipeline.spec import system_ref
 from ..systems import RedisClusterSystem
-from ..viz.ascii_chart import line_chart
-from .common import (
-    ExperimentResult,
-    Scale,
-    fit_singler,
-    get_scale,
-    median_tail,
-)
+from ..viz.ascii_chart import line_chart, multi_chart
+from .common import ExperimentResult, Scale, get_scale
 
 PERCENTILE = 0.99
 UTILIZATION = 0.2
 
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    system = RedisClusterSystem(
-        utilization=UTILIZATION, n_queries=scale.n_queries
+def make_system(n_queries: int):
+    return RedisClusterSystem(utilization=UTILIZATION, n_queries=n_queries)
+
+
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig8", "Binary search for the optimal reissue budget (Redis @ 20%)"
     )
-    base, _ = median_tail(system, NoReissue(), PERCENTILE, scale.eval_seeds)
-
-    def evaluate(budget: float) -> float:
-        if budget <= 0.0:
-            return base
-        policy = fit_singler(
-            system, PERCENTILE, budget, scale, rng=as_rng(seed)
-        )
-        tail, _ = median_tail(system, policy, PERCENTILE, scale.eval_seeds[:2])
-        return tail
-
-    search = find_optimal_budget(
-        evaluate,
+    system = system_ref(make_system, n_queries=scale.n_queries)
+    baseline = sb.evaluate_seeds(
+        system, NoReissue(), scale.eval_seeds, PERCENTILE
+    )
+    base_stat = sb.median_tail_cell("reduce/base", baseline, PERCENTILE)
+    search = sb.cell(
+        "search/budget",
+        budget_search_cell,
+        system=system,
+        percentile=PERCENTILE,
+        scale=scale,
+        seed=seed,
+        baseline=base_stat,
         initial_step=0.01,
         max_trials=max(8, 2 * scale.adaptive_trials),
-        baseline_latency=base,
     )
 
-    headers = ["trial", "budget", "p99", "accepted", "best_budget", "best_p99"]
-    rows: list[list] = []
-    best_b, best_l = 0.0, base
-    for t in search.trials:
-        if t.accepted:
-            best_b, best_l = t.budget, t.latency
-        rows.append([t.trial, t.budget, t.latency, t.accepted, best_b, best_l])
+    def render(rs) -> ExperimentResult:
+        base, _ = rs.median_tail(baseline, PERCENTILE)
+        found = rs[search]
 
-    trials_idx = [float(t.trial) for t in search.trials]
-    chart = (
-        line_chart(
-            {
-                "trial budget": (trials_idx, [t.budget for t in search.trials]),
-                "best budget": (trials_idx, [r[4] for r in rows]),
-            },
-            title="Fig 8 (left): budget per trial",
-            x_label="trial",
-            y_label="budget",
-            height=12,
+        headers = ["trial", "budget", "p99", "accepted", "best_budget", "best_p99"]
+        rows: list[list] = []
+        best_b, best_l = 0.0, base
+        for t in found.trials:
+            if t.accepted:
+                best_b, best_l = t.budget, t.latency
+            rows.append([t.trial, t.budget, t.latency, t.accepted, best_b, best_l])
+
+        trials_idx = [float(t.trial) for t in found.trials]
+        chart = multi_chart(
+            line_chart(
+                {
+                    "trial budget": (trials_idx, [t.budget for t in found.trials]),
+                    "best budget": (trials_idx, [r[4] for r in rows]),
+                },
+                title="Fig 8 (left): budget per trial",
+                x_label="trial",
+                y_label="budget",
+                height=12,
+            ),
+            line_chart(
+                {
+                    "trial p99": (trials_idx, [t.latency for t in found.trials]),
+                    "best p99": (trials_idx, [r[5] for r in rows]),
+                },
+                title="Fig 8 (right): P99 per trial",
+                x_label="trial",
+                y_label="P99",
+                height=12,
+            ),
         )
-        + "\n\n"
-        + line_chart(
-            {
-                "trial p99": (trials_idx, [t.latency for t in search.trials]),
-                "best p99": (trials_idx, [r[5] for r in rows]),
-            },
-            title="Fig 8 (right): P99 per trial",
-            x_label="trial",
-            y_label="P99",
-            height=12,
+        notes = [
+            f"baseline P99 at 20% util: {base:.0f}",
+            f"search settles at budget={found.best_budget:.3f} with "
+            f"P99={found.best_latency:.0f} "
+            f"({100 * (1 - found.best_latency / base):.0f}% below baseline); "
+            "paper finds ~8% optimal budget at 20% utilization",
+        ]
+        return ExperimentResult(
+            experiment_id="fig8",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=chart,
+            notes=notes,
+            meta={"best_budget": found.best_budget},
         )
-    )
-    notes = [
-        f"baseline P99 at 20% util: {base:.0f}",
-        f"search settles at budget={search.best_budget:.3f} with "
-        f"P99={search.best_latency:.0f} "
-        f"({100 * (1 - search.best_latency / base):.0f}% below baseline); "
-        "paper finds ~8% optimal budget at 20% utilization",
-    ]
-    return ExperimentResult(
-        experiment_id="fig8",
-        title="Binary search for the optimal reissue budget (Redis @ 20%)",
-        headers=headers,
-        rows=rows,
-        chart=chart,
-        notes=notes,
-        meta={"best_budget": search.best_budget},
-    )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -3,66 +3,103 @@
 Histograms (20 ms bins, log count axis) of pure service times — no
 queueing — for the Redis set-intersection trace and the Lucene search
 trace, plus the moment/shape checks the paper reports in §6.2/§6.3.
+
+Pipeline shape: one service-time sampling cell per system; the moments
+and histograms are computed at render time.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..systems import LuceneClusterSystem, RedisClusterSystem
-from ..viz.ascii_chart import histogram_chart
+from ..pipeline import SpecBuilder, run_pipeline
+from ..pipeline.spec import SystemRef, system_ref
+from ..viz.ascii_chart import histogram_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
+from .fig7 import make_system
 
 BIN_MS = 20.0
 
 
-def run(scale: str | Scale = "standard", seed: int = 42) -> ExperimentResult:
-    scale = get_scale(scale)
-    n = max(scale.n_queries, 40_000)  # moments need the full trace size
-    redis = RedisClusterSystem(utilization=0.4, n_queries=n)
-    lucene = LuceneClusterSystem(utilization=0.4, n_queries=n)
-    s_redis = redis.service_time_sample(n, rng=seed)
-    s_lucene = lucene.service_time_sample(n, rng=seed)
+def service_sample_cell(system: SystemRef, n: int, seed: int):
+    """Pure service times (no queueing) — the fig9 histogram input."""
+    return system.build().service_time_sample(n, rng=seed)
 
-    headers = ["system", "metric", "measured", "paper"]
-    rows = [
-        ["redis", "mean_ms", float(s_redis.mean()), 2.366],
-        ["redis", "std_ms", float(s_redis.std()), 8.64],
-        ["redis", "frac_below_10ms", float((s_redis < 10).mean()), 0.98],
-        ["redis", "count_above_150ms", int((s_redis > 150).sum()), 20],
-        ["lucene", "mean_ms", float(s_lucene.mean()), 39.73],
-        ["lucene", "std_ms", float(s_lucene.std()), 21.88],
-        [
-            "lucene",
-            "frac_1_to_70ms",
-            float(((s_lucene >= 1) & (s_lucene <= 70)).mean()),
-            0.90,
-        ],
-        ["lucene", "frac_above_100ms", float((s_lucene > 100).mean()), 0.01],
-    ]
-    chart = (
-        histogram_chart(
-            s_redis, BIN_MS, title="Fig 9 (Redis): service times, log counts",
-            x_label="service time (ms)",
-        )
-        + "\n\n"
-        + histogram_chart(
-            s_lucene, BIN_MS, title="Fig 9 (Lucene): service times, log counts",
-            x_label="service time (ms)",
-        )
+
+def build_spec(scale: Scale, seed: int):
+    sb = SpecBuilder(
+        "fig9",
+        "Service-time distributions (Redis set-intersection, Lucene search)",
     )
-    notes = [
-        "redis head is ~2 decades taller than any tail bin; the >150 ms "
-        "bins are the pair-of-large-sets queries of death",
-        "lucene mass is concentrated in 1-70 ms with a short tail — the "
-        "mechanically different anatomy that makes its reissue gains "
-        "smaller than redis's",
-    ]
-    return ExperimentResult(
-        experiment_id="fig9",
-        title="Service-time distributions (Redis set-intersection, Lucene search)",
-        headers=headers,
-        rows=rows,
-        chart=chart,
-        notes=notes,
-    )
+    n = max(scale.n_queries, 40_000)  # moments need the full trace size
+    samples = {
+        name: sb.cell(
+            f"sample/{name}",
+            service_sample_cell,
+            system=system_ref(
+                make_system, name=name, utilization=0.4, n_queries=n
+            ),
+            n=n,
+            seed=seed,
+        )
+        for name in ("redis", "lucene")
+    }
+
+    def render(rs) -> ExperimentResult:
+        s_redis = rs[samples["redis"]]
+        s_lucene = rs[samples["lucene"]]
+        headers = ["system", "metric", "measured", "paper"]
+        rows = [
+            ["redis", "mean_ms", float(s_redis.mean()), 2.366],
+            ["redis", "std_ms", float(s_redis.std()), 8.64],
+            ["redis", "frac_below_10ms", float((s_redis < 10).mean()), 0.98],
+            ["redis", "count_above_150ms", int((s_redis > 150).sum()), 20],
+            ["lucene", "mean_ms", float(s_lucene.mean()), 39.73],
+            ["lucene", "std_ms", float(s_lucene.std()), 21.88],
+            [
+                "lucene",
+                "frac_1_to_70ms",
+                float(((s_lucene >= 1) & (s_lucene <= 70)).mean()),
+                0.90,
+            ],
+            ["lucene", "frac_above_100ms", float((s_lucene > 100).mean()), 0.01],
+        ]
+        chart = multi_chart(
+            histogram_chart(
+                s_redis,
+                BIN_MS,
+                title="Fig 9 (Redis): service times, log counts",
+                x_label="service time (ms)",
+            ),
+            histogram_chart(
+                s_lucene,
+                BIN_MS,
+                title="Fig 9 (Lucene): service times, log counts",
+                x_label="service time (ms)",
+            ),
+        )
+        notes = [
+            "redis head is ~2 decades taller than any tail bin; the >150 ms "
+            "bins are the pair-of-large-sets queries of death",
+            "lucene mass is concentrated in 1-70 ms with a short tail — the "
+            "mechanically different anatomy that makes its reissue gains "
+            "smaller than redis's",
+        ]
+        return ExperimentResult(
+            experiment_id="fig9",
+            title=sb.title,
+            headers=headers,
+            rows=rows,
+            chart=chart,
+            notes=notes,
+        )
+
+    return sb.build(render)
+
+
+def run(
+    scale: str | Scale = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+) -> ExperimentResult:
+    spec = build_spec(get_scale(scale), seed)
+    return run_pipeline(spec, workers=workers, cache_dir=cache_dir)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from . import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9
@@ -30,8 +31,38 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
+def _check_kwargs(experiment_id: str, driver, kwargs: dict) -> None:
+    """Fail fast with the driver's name and accepted keywords.
+
+    Without this, a typo like ``run_experiment("fig7", panel="a")``
+    surfaces as a bare TypeError from deep inside the driver call chain;
+    here it names the experiment and lists what it accepts.
+    """
+    accepted = set(inspect.signature(driver).parameters)
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise TypeError(
+            f"experiment {experiment_id!r} does not accept "
+            f"{', '.join(repr(k) for k in unknown)}; "
+            f"accepted keywords: {', '.join(sorted(accepted))}"
+        )
+
+
 def run_experiment(
-    experiment_id: str, scale: str = "standard", seed: int = 42, **kwargs
+    experiment_id: str,
+    scale: str = "standard",
+    seed: int = 42,
+    workers: int | None = None,
+    cache_dir=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(scale=scale, seed=seed, **kwargs)
+    """Run one experiment by id.
+
+    ``workers`` spreads the figure's pipeline cells over a process pool
+    (bit-for-bit identical to serial); ``cache_dir`` points the executor
+    at a content-addressed result cache shared across runs and figures.
+    """
+    driver = get_experiment(experiment_id)
+    kwargs = {"workers": workers, "cache_dir": cache_dir, **kwargs}
+    _check_kwargs(experiment_id, driver, kwargs)
+    return driver(scale=scale, seed=seed, **kwargs)

@@ -22,12 +22,18 @@ seed (``tests/test_fastsim_equivalence.py`` enforces this across the
 policy × discipline × balancer × cancellation matrix).
 """
 
-from .batch import ReplicationSpec, batch_over_seeds, simulate_batch
+from .batch import (
+    ReplicationSpec,
+    batch_over_seeds,
+    run_replications,
+    simulate_batch,
+)
 from .kernel import simulate_replication
 
 __all__ = [
     "ReplicationSpec",
     "batch_over_seeds",
+    "run_replications",
     "simulate_batch",
     "simulate_replication",
 ]

@@ -71,3 +71,21 @@ def batch_over_seeds(
     return simulate_batch(
         [ReplicationSpec(config, policy, seed=s) for s in seeds]
     )
+
+
+def run_replications(system, policy: ReissuePolicy, seeds: Sequence[int]):
+    """Seed-paired replications on any :class:`SystemUnderTest`.
+
+    Systems advertising the :func:`repro.core.interfaces.supports_batch`
+    capability (the queueing cluster and the §6 substrates) go through
+    their ``run_batch`` fast path; everything else falls back to one
+    ``run`` per seed. Either way element ``i`` is bit-for-bit
+    ``system.run(policy, as_rng(seeds[i]))`` — this is the single choke
+    point the evaluation protocol (``median_tail``, the pipeline
+    executor) funnels through.
+    """
+    from ..core.interfaces import supports_batch
+
+    if supports_batch(system):
+        return system.run_batch(policy, list(seeds))
+    return [system.run(policy, as_rng(s)) for s in seeds]

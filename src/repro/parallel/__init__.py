@@ -7,6 +7,13 @@ points out over a process pool with deterministic per-point seeding so a
 parallel run is bit-identical to a serial one.
 """
 
-from .sweep import SweepPoint, SweepResult, run_sweep, seed_for
+from .sweep import Job, SweepPoint, SweepResult, run_jobs, run_sweep, seed_for
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep", "seed_for"]
+__all__ = [
+    "Job",
+    "SweepPoint",
+    "SweepResult",
+    "run_jobs",
+    "run_sweep",
+    "seed_for",
+]

@@ -90,6 +90,7 @@ def run_sweep(
     base_seed: int = 0,
     n_workers: int | None = None,
     chunk_size: int | None = 1,
+    pool: ProcessPoolExecutor | None = None,
 ) -> list[SweepResult]:
     """Evaluate ``fn(rng=..., **point.params)`` at every point.
 
@@ -114,6 +115,11 @@ def run_sweep(
         (4 * n_workers))`` so each worker sees a handful of batches for
         load balance. Results are identical for every chunking (seeding
         is per point key), in the same order as ``points``.
+    pool:
+        An existing ``ProcessPoolExecutor`` to dispatch on (caller owns
+        its lifetime). Reusing one pool across several sweeps lets
+        workers keep warm state (imports, memoized systems) instead of
+        paying startup per call; results are unaffected.
 
     Returns results in the same order as ``points``; failures are recorded
     per point rather than aborting the sweep.
@@ -131,24 +137,91 @@ def run_sweep(
         raise ValueError("chunk_size must be >= 1 (or None for auto)")
     if n_workers is None:
         n_workers = min(os.cpu_count() or 1, max(len(points), 1))
-    if n_workers <= 1 or len(points) <= 1:
+    if pool is None and (n_workers <= 1 or len(points) <= 1):
         return [_run_point(fn, p, base_seed) for p in points]
     if chunk_size is None:
         chunk_size = max(1, -(-len(points) // (4 * n_workers)))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        if chunk_size <= 1:
-            futures = [
-                pool.submit(_run_point, fn, p, base_seed) for p in points
-            ]
-            return [f.result() for f in futures]
-        chunks = [
-            points[i : i + chunk_size]
-            for i in range(0, len(points), chunk_size)
-        ]
-        futures = [
-            pool.submit(_run_chunk, fn, chunk, base_seed) for chunk in chunks
-        ]
-        return [result for f in futures for result in f.result()]
+    if pool is not None:
+        return _dispatch(pool, fn, points, base_seed, chunk_size)
+    with ProcessPoolExecutor(max_workers=n_workers) as owned:
+        return _dispatch(owned, fn, points, base_seed, chunk_size)
+
+
+def _dispatch(
+    pool: ProcessPoolExecutor,
+    fn: Callable[..., Any],
+    points: Sequence[SweepPoint],
+    base_seed: int,
+    chunk_size: int,
+) -> list[SweepResult]:
+    if chunk_size <= 1:
+        futures = [pool.submit(_run_point, fn, p, base_seed) for p in points]
+        return [f.result() for f in futures]
+    chunks = [
+        points[i : i + chunk_size] for i in range(0, len(points), chunk_size)
+    ]
+    futures = [
+        pool.submit(_run_chunk, fn, chunk, base_seed) for chunk in chunks
+    ]
+    return [result for f in futures for result in f.result()]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of heterogeneous work: ``fn(**kwargs)`` labelled by key.
+
+    Unlike a :class:`SweepPoint`, a job carries its own callable, so one
+    dispatch can mix different kinds of work (policy fits, evaluation
+    batches, reductions — the pipeline executor's waves). Determinism is
+    the job's own responsibility: the callable must derive any randomness
+    from its ``kwargs`` (seeds), never from ambient state.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _job_worker(rng, job: Job) -> Any:
+    # The sweep-provided rng is deliberately unused: jobs are seeded by
+    # their kwargs so results are identical across pool widths/orderings.
+    del rng
+    return job.fn(**dict(job.kwargs))
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    n_workers: int | None = None,
+    chunk_size: int | None = 1,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[SweepResult]:
+    """Evaluate heterogeneous jobs on the deterministic process pool.
+
+    Each ``job.fn`` must be a module-level callable (workers unpickle it
+    by reference) and must take its randomness from ``job.kwargs``.
+    Results come back in job order with per-job error capture, exactly
+    like :func:`run_sweep`.
+    """
+    for job in jobs:
+        fn = job.fn
+        if (
+            getattr(fn, "__name__", "") == "<lambda>"
+            or "<locals>" in getattr(fn, "__qualname__", "")
+        ):
+            raise TypeError(
+                "run_jobs requires module-level callables (workers "
+                f"unpickle them by reference); job {job.key!r} got "
+                f"{getattr(fn, '__qualname__', fn)!r}"
+            )
+    points = [SweepPoint(key=j.key, params={"job": j}) for j in jobs]
+    return run_sweep(
+        _job_worker,
+        points,
+        base_seed=0,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        pool=pool,
+    )
 
 
 def results_by_key(results: Sequence[SweepResult]) -> dict[str, Any]:

@@ -1,0 +1,63 @@
+"""Content-addressed on-disk result cache.
+
+Cell values are pickled under their content fingerprint, so the cache is
+shared by anything that computes the same cell: re-running a figure hits
+every cell, upgrading ``quick`` → ``standard`` re-uses the replications
+whose seeds and sizes carry over, and two figures evaluating the same
+(system, policy, seed) replication share one entry. Entries are written
+atomically (tmp + rename) so concurrent runs can share a directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+_MISS = object()
+
+
+class ResultCache:
+    """Hit/miss/write accounting lives in the executor's
+    ``ExecutionReport`` (the single consumer) — this class only stores."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fp: str) -> Path:
+        return self.root / fp[:2] / f"{fp}.pkl"
+
+    def get(self, fp: str, default=None):
+        """The cached value for ``fp``; ``default`` on miss or corruption.
+
+        Any load failure counts as a miss — a truncated pickle, or an
+        entry written by an older code version whose classes no longer
+        unpickle (AttributeError/ImportError) — because the contract is
+        "recompute when the cache can't serve", never "crash the run".
+        """
+        path = self._path(fp)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return default
+
+    def contains(self, fp: str) -> bool:
+        return self._path(fp).exists()
+
+    def put(self, fp: str, value) -> None:
+        path = self._path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,215 @@
+"""Execute a compiled plan: batch, parallelize, cache.
+
+The executor walks the plan's waves. In each wave it:
+
+1. resolves every cell's dependencies against already-computed values;
+2. serves cells whose fingerprint is in the result cache;
+3. groups the remaining evaluation cells by (system, policy, measures)
+   into ``fastsim`` ``run_batch`` batches — one job per group — and
+   wraps every other cell as its own job;
+4. dispatches the wave's jobs serially or across
+   ``parallel.sweep``'s deterministic process pool, then scatters batch
+   results back to their cells and writes each value to the cache.
+
+Because every cell derives randomness only from its own seed parameters,
+the three execution modes (serial, process-parallel, cache-replay) are
+bit-for-bit interchangeable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..parallel.sweep import Job, run_jobs
+from .cache import ResultCache
+from .cells import evaluate_replication, evaluate_replications
+from .fingerprint import fingerprint
+from .plan import Plan, compile_plan
+from .spec import Cell, ExperimentSpec, Results
+
+_PENDING = object()
+
+
+@dataclass
+class ExecutionReport:
+    """What the pipeline actually did — attached to the figure's meta."""
+
+    workers: int = 1
+    n_waves: int = 0
+    n_jobs: int = 0
+    n_batches: int = 0
+    n_batched_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_writes: int = 0
+    wall_s: float = 0.0
+    plan: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "waves": self.n_waves,
+            "jobs": self.n_jobs,
+            "batches": self.n_batches,
+            "batched_cells": self.n_batched_cells,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_writes": self.cache_writes,
+            "wall_s": round(self.wall_s, 3),
+            **self.plan,
+        }
+
+
+def _resolve(cell: Cell, values: dict[str, Any], aliases: dict[str, str]) -> dict:
+    kwargs = dict(cell.params)
+    for name, ref in cell.deps.items():
+        if isinstance(ref, tuple):
+            kwargs[name] = tuple(
+                r.resolve(values[aliases[r.key]]) for r in ref
+            )
+        else:
+            kwargs[name] = ref.resolve(values[aliases[ref.key]])
+    return kwargs
+
+
+def execute_plan(
+    plan: Plan,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> tuple[Results, ExecutionReport]:
+    t0 = time.perf_counter()
+    report = ExecutionReport(workers=max(1, int(workers)), plan=plan.stats.as_dict())
+    values: dict[str, Any] = {}
+    # One pool for the whole plan (created lazily on the first parallel
+    # wave): workers keep their warm state — imports, memoized systems —
+    # across waves instead of paying startup per wave.
+    pool_holder: list[ProcessPoolExecutor | None] = [None]
+    try:
+        _execute_waves(plan, report, values, cache, pool_holder)
+    finally:
+        if pool_holder[0] is not None:
+            pool_holder[0].shutdown()
+
+    report.wall_s = time.perf_counter() - t0
+    return Results(values, plan.aliases), report
+
+
+def _execute_waves(
+    plan: Plan,
+    report: ExecutionReport,
+    values: dict[str, Any],
+    cache: ResultCache | None,
+    pool_holder: list,
+) -> None:
+    for wave in plan.waves:
+        report.n_waves += 1
+        pending: list[tuple[str, dict]] = []
+        for key in wave:
+            fp = plan.fingerprints[key]
+            kwargs = _resolve(plan.cells[key], values, plan.aliases)
+            if cache is not None:
+                hit = cache.get(fp, _PENDING)
+                if hit is not _PENDING:
+                    values[key] = hit
+                    report.cache_hits += 1
+                    continue
+                report.cache_misses += 1
+            pending.append((key, kwargs))
+        if not pending:
+            continue
+
+        # Group ready evaluation replications by (system, policy, measures)
+        # so batch-capable systems run all seeds in one fastsim call.
+        jobs: list[Job] = []
+        scatter: dict[str, list[str]] = {}  # job key -> cell keys (in order)
+        groups: dict[str, str] = {}  # group fingerprint -> job key
+        group_kwargs: dict[str, dict] = {}
+        for key, kwargs in pending:
+            cell = plan.cells[key]
+            if cell.kind == "eval" and cell.fn is evaluate_replication:
+                gfp = fingerprint(
+                    (
+                        kwargs["system"],
+                        kwargs["policy"],
+                        kwargs["percentiles"],
+                        kwargs["measure"],
+                    )
+                )
+                job_key = groups.get(gfp)
+                if job_key is None:
+                    job_key = f"batch/{len(groups)}"
+                    groups[gfp] = job_key
+                    group_kwargs[job_key] = {
+                        "system": kwargs["system"],
+                        "policy": kwargs["policy"],
+                        "seeds": [],
+                        "percentiles": kwargs["percentiles"],
+                        "measure": kwargs["measure"],
+                    }
+                    scatter[job_key] = []
+                group_kwargs[job_key]["seeds"].append(kwargs["seed"])
+                scatter[job_key].append(key)
+            else:
+                jobs.append(Job(key=f"cell/{key}", fn=cell.fn, kwargs=kwargs))
+                scatter[f"cell/{key}"] = [key]
+        for job_key, kw in group_kwargs.items():
+            kw["seeds"] = tuple(kw["seeds"])
+            jobs.append(Job(key=job_key, fn=evaluate_replications, kwargs=kw))
+            report.n_batches += 1
+            report.n_batched_cells += len(scatter[job_key])
+        report.n_jobs += len(jobs)
+
+        if report.workers > 1 and len(jobs) > 1:
+            if pool_holder[0] is None:
+                pool_holder[0] = ProcessPoolExecutor(max_workers=report.workers)
+            chunk = 1 if len(jobs) <= 4 * report.workers else None
+            outcomes = run_jobs(
+                jobs,
+                n_workers=report.workers,
+                chunk_size=chunk,
+                pool=pool_holder[0],
+            )
+            failed = [r for r in outcomes if not r.ok]
+            if failed:
+                detail = "; ".join(f"{r.key}: {r.error}" for r in failed[:5])
+                raise RuntimeError(
+                    f"{plan.spec.experiment_id}: {len(failed)} pipeline "
+                    f"cell(s) failed: {detail}"
+                )
+            out_by_key = {r.key: r.value for r in outcomes}
+        else:
+            out_by_key = {job.key: job.fn(**dict(job.kwargs)) for job in jobs}
+
+        for job in jobs:
+            cell_keys = scatter[job.key]
+            value = out_by_key[job.key]
+            per_cell = value if job.key.startswith("batch/") else [value]
+            for cell_key, cell_value in zip(cell_keys, per_cell):
+                values[cell_key] = cell_value
+                if cache is not None:
+                    cache.put(plan.fingerprints[cell_key], cell_value)
+                    report.cache_writes += 1
+
+
+def run_pipeline(
+    spec: ExperimentSpec,
+    workers: int | None = None,
+    cache_dir=None,
+):
+    """Compile, execute, render — the figure drivers' entry point."""
+    from .spec import clear_system_memo
+
+    plan = compile_plan(spec)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    try:
+        results, report = execute_plan(plan, workers=workers or 1, cache=cache)
+        result = spec.render(results)
+    finally:
+        clear_system_memo()
+    meta = getattr(result, "meta", None)
+    if isinstance(meta, dict):
+        meta["pipeline"] = report.as_dict()
+    return result

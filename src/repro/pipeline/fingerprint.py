@@ -1,0 +1,139 @@
+"""Content-addressed fingerprints for pipeline cells.
+
+A cell's fingerprint is a SHA-256 over a canonical token stream of its
+function, parameters, and (already-fingerprinted) dependencies — a
+Merkle DAG. Two cells with equal fingerprints compute the same value, so
+the planner merges them and the on-disk cache can be shared across
+figures, scales, and sessions.
+
+Only deterministic, *value-like* inputs are accepted: primitives,
+tuples/lists/dicts of them, numpy arrays, dataclasses, reissue policies,
+distributions, and module-level callables referenced by qualified name.
+Anything else (open files, generators, stateful RNGs) raises — a cell
+whose inputs cannot be fingerprinted cannot be safely cached or deduped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+def _version_salt() -> str:
+    """Package version folded into every fingerprint.
+
+    Cell fingerprints cover the cell function's own bytecode but not the
+    protocol code it calls (optimizers, the simulation engine); salting
+    with the package version retires on-disk caches across releases even
+    when nobody remembers to bump :data:`FINGERPRINT_VERSION`.
+    """
+    try:
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - import cycles during bootstrap
+        return "?"
+
+
+#: Bump to invalidate every existing cache entry (serialization or
+#: protocol-semantics change between releases).
+FINGERPRINT_VERSION = f"repro-pipeline-v1/{_version_salt()}"
+
+
+def _emit(out: list[str], v: Any) -> None:
+    if v is None or isinstance(v, (bool, np.bool_)):
+        out.append(f"N:{v}" if v is None else f"B:{bool(v)}")
+    elif isinstance(v, (int, np.integer)):
+        out.append(f"I:{int(v)}")
+    elif isinstance(v, (float, np.floating)):
+        out.append(f"F:{float(v)!r}")
+    elif isinstance(v, str):
+        out.append(f"S:{len(v)}:{v}")
+    elif isinstance(v, bytes):
+        out.append(f"Y:{hashlib.sha256(v).hexdigest()}")
+    elif isinstance(v, np.ndarray):
+        arr = np.ascontiguousarray(v)
+        out.append(f"A:{arr.dtype.str}:{arr.shape}:")
+        out.append(hashlib.sha256(arr.tobytes()).hexdigest())
+    elif isinstance(v, (tuple, list)):
+        out.append(f"T{len(v)}(")
+        for item in v:
+            _emit(out, item)
+        out.append(")")
+    elif isinstance(v, Mapping):
+        out.append(f"M{len(v)}(")
+        for k in sorted(v, key=str):
+            _emit(out, str(k))
+            _emit(out, v[k])
+        out.append(")")
+    elif hasattr(v, "__fingerprint__"):
+        out.append("X(")
+        _emit(out, v.__fingerprint__())
+        out.append(")")
+    elif dataclasses.is_dataclass(v) and not isinstance(v, type):
+        out.append(f"D:{_qualname(type(v))}(")
+        for f in dataclasses.fields(v):
+            _emit(out, f.name)
+            _emit(out, getattr(v, f.name))
+        out.append(")")
+    elif callable(v) and hasattr(v, "__qualname__"):
+        qn = _qualname(v)
+        if "<locals>" in qn or v.__name__ == "<lambda>":
+            raise TypeError(
+                f"cannot fingerprint non-module-level callable {qn!r}"
+            )
+        out.append(f"C:{qn}")
+        # Also hash the function's own bytecode and constants, so editing
+        # a cell function retires its cached results instead of silently
+        # replaying values computed by the old implementation. (Helpers it
+        # *calls* are not covered — bump FINGERPRINT_VERSION when protocol
+        # code beneath the cell functions changes meaning.)
+        code = getattr(v, "__code__", None)
+        if code is not None:
+            consts = tuple(
+                c for c in code.co_consts if not isinstance(c, type(code))
+            )
+            out.append(
+                "c:"
+                + hashlib.sha256(
+                    repr((consts, code.co_names)).encode() + code.co_code
+                ).hexdigest()
+            )
+    elif _is_param_object(v):
+        # Parameter-holder objects (reissue policies, distributions,
+        # systems built from primitives): class + public attributes.
+        out.append(f"O:{_qualname(type(v))}(")
+        for k in sorted(vars(v)):
+            _emit(out, k)
+            _emit(out, vars(v)[k])
+        out.append(")")
+    else:
+        raise TypeError(
+            f"cannot fingerprint value of type {type(v).__qualname__}: {v!r}"
+        )
+
+
+def _qualname(obj) -> str:
+    return f"{getattr(obj, '__module__', '?')}.{obj.__qualname__}"
+
+
+def _is_param_object(v: Any) -> bool:
+    """Objects that are pure parameter holders: every attribute must be
+    fingerprintable itself (enforced recursively by ``_emit``); RNGs and
+    other stateful members are rejected there."""
+    if isinstance(v, np.random.Generator):
+        return False
+    try:
+        vars(v)
+    except TypeError:
+        return False
+    return True
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical token stream."""
+    out: list[str] = [FINGERPRINT_VERSION]
+    _emit(out, value)
+    return hashlib.sha256("\x1f".join(out).encode()).hexdigest()

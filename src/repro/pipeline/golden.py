@@ -1,0 +1,40 @@
+"""Stable digests of experiment rows for golden-equivalence tests.
+
+The pipeline refactor's contract is that every figure's ``rows`` are
+bit-for-bit identical to the pre-refactor drivers. Rather than committing
+megabytes of CSV, the golden tests commit a content digest per figure.
+The serialization below is intentionally explicit (no ``json.dumps``
+float formatting surprises): every scalar is tagged with its type and
+floats use ``repr(float(v))``, which round-trips IEEE doubles exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def canonical_value(v) -> str:
+    """Tagged, bit-exact string form of one row entry."""
+    if isinstance(v, bool) or isinstance(v, np.bool_):
+        return f"b:{bool(v)}"
+    if isinstance(v, (int, np.integer)):
+        return f"i:{int(v)}"
+    if isinstance(v, (float, np.floating)):
+        return f"f:{float(v)!r}"
+    if isinstance(v, str):
+        return f"s:{v}"
+    if v is None:
+        return "n:"
+    raise TypeError(f"unsupported row value type {type(v).__name__}: {v!r}")
+
+
+def rows_digest(rows: Iterable[Sequence]) -> str:
+    """SHA-256 over the canonical serialization of ``rows``."""
+    h = hashlib.sha256()
+    for row in rows:
+        h.update("\x1f".join(canonical_value(v) for v in row).encode())
+        h.update(b"\x1e")
+    return h.hexdigest()

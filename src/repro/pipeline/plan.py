@@ -1,0 +1,144 @@
+"""Compile an :class:`ExperimentSpec` into an executable, deduped DAG.
+
+The planner walks the declared cells in dependency order, computes each
+cell's content fingerprint (a Merkle hash over its function, parameters,
+and dependency fingerprints), and merges cells whose fingerprints
+coincide — the same (system, policy, seed) replication declared by two
+panels, or the same fit reached from two budget grids, executes exactly
+once. The surviving cells are layered into *waves*: wave 0 has no
+dependencies (fits, baselines), wave ``k`` depends only on earlier waves
+(evaluations of fitted policies, reductions, budget searches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .fingerprint import fingerprint
+from .spec import Cell, ExperimentSpec
+
+
+@dataclass
+class PlanStats:
+    """Dedupe accounting, surfaced in ``ExperimentResult.meta``."""
+
+    n_declared: int = 0
+    n_unique: int = 0
+    n_merged: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    spec_stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "cells_declared": self.n_declared,
+            "cells_unique": self.n_unique,
+            "cells_merged": self.n_merged,
+            "by_kind": dict(self.by_kind),
+            **self.spec_stats,
+        }
+
+
+@dataclass
+class Plan:
+    """Executable form of a spec: deduped cells in topological waves."""
+
+    spec: ExperimentSpec
+    cells: dict[str, Cell]               # canonical key -> cell
+    fingerprints: dict[str, str]         # canonical key -> content hash
+    aliases: dict[str, str]              # every declared key -> canonical key
+    waves: list[list[str]]               # canonical keys, ready-ordered
+    stats: PlanStats
+
+
+def _check_callable(cell: Cell) -> None:
+    fn = cell.fn
+    qn = getattr(fn, "__qualname__", "")
+    if getattr(fn, "__name__", "") == "<lambda>" or "<locals>" in qn:
+        raise TypeError(
+            f"cell {cell.key!r}: fn must be module-level (workers unpickle "
+            f"it by reference), got {qn!r}"
+        )
+
+
+def compile_plan(spec: ExperimentSpec) -> Plan:
+    cells: Mapping[str, Cell] = {c.key: c for c in spec.cells}
+    if len(cells) != len(spec.cells):
+        raise ValueError(f"{spec.experiment_id}: duplicate cell keys")
+    for cell in spec.cells:
+        _check_callable(cell)
+        for ref in cell.dep_refs():
+            if ref.key not in cells:
+                raise KeyError(
+                    f"cell {cell.key!r} depends on unknown cell {ref.key!r}"
+                )
+
+    # Topological order (Kahn) over declared cells.
+    order: list[str] = []
+    depth: dict[str, int] = {}
+    remaining = dict(cells)
+    while remaining:
+        ready = [
+            k
+            for k, c in remaining.items()
+            if all(r.key in depth for r in c.dep_refs())
+        ]
+        if not ready:
+            cycle = sorted(remaining)[:5]
+            raise ValueError(
+                f"{spec.experiment_id}: dependency cycle involving {cycle}"
+            )
+        for k in ready:
+            cell = remaining.pop(k)
+            deps = cell.dep_refs()
+            depth[k] = 1 + max((depth[r.key] for r in deps), default=-1)
+            order.append(k)
+
+    # Fingerprint in topo order (dep fingerprints are known), then merge.
+    fps: dict[str, str] = {}
+    aliases: dict[str, str] = {}
+    canonical_by_fp: dict[str, str] = {}
+    canonical_cells: dict[str, Cell] = {}
+    stats = PlanStats(n_declared=len(order), spec_stats=dict(spec.stats))
+    for key in order:
+        cell = cells[key]
+        dep_view = {
+            name: (
+                tuple(("dep", fps[aliases[r.key]], r.project) for r in v)
+                if isinstance(v, tuple)
+                else ("dep", fps[aliases[v.key]], v.project)
+            )
+            for name, v in cell.deps.items()
+        }
+        fp = fingerprint(("cell", cell.fn, cell.params, dep_view))
+        first = canonical_by_fp.get(fp)
+        if first is None:
+            canonical_by_fp[fp] = key
+            canonical_cells[key] = cell
+            fps[key] = fp
+            aliases[key] = key
+            stats.by_kind[cell.kind] = stats.by_kind.get(cell.kind, 0) + 1
+        else:
+            aliases[key] = first
+            fps[key] = fp
+    stats.n_unique = len(canonical_cells)
+    stats.n_merged = stats.n_declared - stats.n_unique
+
+    # Waves over canonical cells, at canonical depth (a merged cell's
+    # dependents point at the canonical instance).
+    waves_map: dict[int, list[str]] = {}
+    for key, cell in canonical_cells.items():
+        d = 1 + max(
+            (depth[aliases[r.key]] for r in cell.dep_refs()), default=-1
+        )
+        waves_map.setdefault(d, []).append(key)
+    waves = [waves_map[d] for d in sorted(waves_map)]
+
+    return Plan(
+        spec=spec,
+        cells=canonical_cells,
+        fingerprints={k: fps[k] for k in canonical_cells},
+        aliases=aliases,
+        waves=waves,
+        stats=stats,
+    )

@@ -5,7 +5,13 @@ block, so results are inspectable over ssh and diffable in CI — no
 plotting dependency.
 """
 
-from .ascii_chart import histogram_chart, line_chart, scatter_chart
+from .ascii_chart import histogram_chart, line_chart, multi_chart, scatter_chart
 from .table import format_table
 
-__all__ = ["line_chart", "scatter_chart", "histogram_chart", "format_table"]
+__all__ = [
+    "line_chart",
+    "scatter_chart",
+    "histogram_chart",
+    "multi_chart",
+    "format_table",
+]

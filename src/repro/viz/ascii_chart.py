@@ -175,3 +175,13 @@ def histogram_chart(
         tail = "+" if clipped and i == n_bins - 1 else " "
         lines.append(f"{label:>18}{tail}|{bar:<{max_bar}}| {int(c)}")
     return "\n".join(lines)
+
+
+def multi_chart(*charts: str) -> str:
+    """Join panel charts into one figure block (blank-line separated).
+
+    Render functions build each panel independently; empty panels (e.g.
+    a skipped fig7 panel) are dropped rather than leaving stray blank
+    runs in the output.
+    """
+    return "\n\n".join(c for c in charts if c)

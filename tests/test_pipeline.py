@@ -1,0 +1,345 @@
+"""Unit tests for repro.pipeline: fingerprints, specs, plans, execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import supports_batch
+from repro.core.policies import NoReissue, SingleR
+from repro.distributions.base import as_rng
+from repro.experiments.common import Scale
+from repro.fastsim import run_replications
+from repro.parallel.sweep import Job, run_jobs
+from repro.pipeline import (
+    ResultCache,
+    SpecBuilder,
+    compile_plan,
+    execute_plan,
+    fingerprint,
+    run_pipeline,
+)
+from repro.pipeline.cells import evaluate_replication
+from repro.pipeline.spec import Ref, system_ref
+from repro.simulation.workloads import independent_workload, queueing_workload
+
+TINY = Scale(
+    name="tiny", n_queries=1500, eval_seeds=(1, 2), adaptive_trials=2,
+    sweep_points=2,
+)
+
+
+# -- module-level cell functions (workers unpickle them by reference) --------
+
+def add_cell(a, b):
+    return a + b
+
+
+def noisy_cell(seed):
+    return float(as_rng(seed).random())
+
+
+def pair_cell(seed):
+    return (seed * 10, seed * 10 + 1)
+
+
+def total_cell(parts):
+    return sum(parts)
+
+
+def boom_cell():
+    raise ValueError("boom")
+
+
+class TestFingerprint:
+    def test_deterministic_and_discriminating(self):
+        assert fingerprint({"a": 1, "b": 2.5}) == fingerprint({"b": 2.5, "a": 1})
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint([1, 2]) == fingerprint((1, 2))
+        x = np.arange(5, dtype=np.float64)
+        assert fingerprint(x) == fingerprint(x.copy())
+        assert fingerprint(x) != fingerprint(x.astype(np.float32))
+
+    def test_policies_and_scales(self):
+        assert fingerprint(SingleR(1.0, 0.5)) == fingerprint(SingleR(1.0, 0.5))
+        assert fingerprint(SingleR(1.0, 0.5)) != fingerprint(SingleR(1.0, 0.6))
+        assert fingerprint(NoReissue()) != fingerprint(SingleR(0.0, 0.0))
+        assert fingerprint(TINY) == fingerprint(
+            Scale(
+                name="tiny", n_queries=1500, eval_seeds=(1, 2),
+                adaptive_trials=2, sweep_points=2,
+            )
+        )
+
+    def test_callables_by_qualname_only(self):
+        assert fingerprint(add_cell) == fingerprint(add_cell)
+        with pytest.raises(TypeError, match="module-level"):
+            fingerprint(lambda: 0)
+
+    def test_stateful_values_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint(np.random.default_rng(0))
+        with pytest.raises(TypeError):
+            fingerprint(iter([1, 2]))
+
+
+class TestSystemRef:
+    def test_defaults_normalized(self):
+        # One call site relying on defaults, one spelling them out:
+        # identical refs, so their cells dedupe.
+        a = system_ref(queueing_workload, n_queries=1000, utilization=0.3)
+        b = system_ref(
+            queueing_workload,
+            n_queries=1000,
+            utilization=0.3,
+            ratio=0.5,
+            balancer="random",
+            discipline="fifo",
+        )
+        assert fingerprint(a) == fingerprint(b)
+        c = system_ref(queueing_workload, n_queries=1000, utilization=0.4)
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_build_memoizes_per_process(self):
+        ref = system_ref(independent_workload, n_queries=123)
+        assert ref.build() is ref.build()
+        assert ref.build().n_queries == 123
+
+
+class TestSpecBuilder:
+    def test_duplicate_keys_rejected(self):
+        sb = SpecBuilder("t", "t")
+        sb.cell("k", add_cell, a=1, b=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            sb.cell("k", add_cell, a=1, b=2)
+
+    def test_eval_merging_unions_percentiles(self):
+        sb = SpecBuilder("t", "t")
+        ref = system_ref(independent_workload, n_queries=500)
+        h1 = sb.evaluate(ref, NoReissue(), 7, percentiles=(0.95,))
+        h2 = sb.evaluate(ref, NoReissue(), 7, percentiles=(0.99,))
+        assert h1.key == h2.key
+        spec = sb.build(lambda rs: None)
+        (cell,) = spec.cells
+        assert cell.params["percentiles"] == (0.95, 0.99)
+        assert spec.stats["eval_requests"] == 2
+        assert spec.stats["eval_requests_merged"] == 1
+
+    def test_mixed_ref_literal_param_rejected(self):
+        sb = SpecBuilder("t", "t")
+        h = sb.cell("a", pair_cell, seed=1)
+        with pytest.raises(TypeError, match="mixes cell references"):
+            sb.cell("b", total_cell, parts=(h, 42))
+
+    def test_distinct_seeds_not_merged(self):
+        sb = SpecBuilder("t", "t")
+        ref = system_ref(independent_workload, n_queries=500)
+        h1 = sb.evaluate(ref, NoReissue(), 7, percentiles=(0.95,))
+        h2 = sb.evaluate(ref, NoReissue(), 8, percentiles=(0.95,))
+        assert h1.key != h2.key
+
+
+class TestPlan:
+    def test_identical_cells_merged(self):
+        sb = SpecBuilder("t", "t")
+        sb.cell("x", add_cell, a=1, b=2)
+        sb.cell("y", add_cell, a=1, b=2)
+        sb.cell("z", add_cell, a=1, b=3)
+        plan = compile_plan(sb.build(lambda rs: None))
+        assert plan.stats.n_declared == 3
+        assert plan.stats.n_unique == 2
+        assert plan.aliases["y"] == "x"
+
+    def test_dependents_of_merged_cells_merge_too(self):
+        sb = SpecBuilder("t", "t")
+        x = sb.cell("x", pair_cell, seed=1)
+        y = sb.cell("y", pair_cell, seed=1)
+        sb.cell("dx", add_cell, a=x.get(0), b=0)
+        sb.cell("dy", add_cell, a=y.get(0), b=0)
+        plan = compile_plan(sb.build(lambda rs: None))
+        assert plan.stats.n_unique == 2  # one pair cell + one dependent
+
+    def test_cycle_detected(self):
+        sb = SpecBuilder("t", "t")
+        sb.cell("a", add_cell, a=Ref("b"), b=1)
+        sb.cell("b", add_cell, a=Ref("a"), b=1)
+        with pytest.raises(ValueError, match="cycle"):
+            compile_plan(sb.build(lambda rs: None))
+
+    def test_unknown_dep_rejected(self):
+        sb = SpecBuilder("t", "t")
+        sb.cell("a", add_cell, a=Ref("ghost"), b=1)
+        with pytest.raises(KeyError, match="ghost"):
+            compile_plan(sb.build(lambda rs: None))
+
+    def test_local_callable_rejected(self):
+        def local_fn():
+            return 0
+
+        sb = SpecBuilder("t", "t")
+        sb.cell("a", local_fn)
+        with pytest.raises(TypeError, match="module-level"):
+            compile_plan(sb.build(lambda rs: None))
+
+    def test_waves_respect_dependencies(self):
+        sb = SpecBuilder("t", "t")
+        a = sb.cell("a", pair_cell, seed=1)
+        b = sb.cell("b", add_cell, a=a.get(0), b=1)
+        sb.cell("c", add_cell, a=b, b=1)
+        plan = compile_plan(sb.build(lambda rs: None))
+        assert [sorted(w) for w in plan.waves] == [["a"], ["b"], ["c"]]
+
+
+def _sum_spec():
+    sb = SpecBuilder("t", "t")
+    parts = [sb.cell(f"p{i}", noisy_cell, seed=i) for i in range(6)]
+    total = sb.cell("total", total_cell, parts=parts)
+    return sb.build(lambda rs: (rs[total], [rs[p] for p in parts]))
+
+
+class TestExecutor:
+    def test_serial_parallel_cached_identical(self, tmp_path):
+        serial = run_pipeline(_sum_spec())
+        parallel = run_pipeline(_sum_spec(), workers=2)
+        cold = run_pipeline(_sum_spec(), cache_dir=tmp_path)
+        warm = run_pipeline(_sum_spec(), cache_dir=tmp_path)
+        assert serial == parallel == cold == warm
+
+    def test_cache_hits_counted(self, tmp_path):
+        plan = compile_plan(_sum_spec())
+        cache = ResultCache(tmp_path)
+        _, rep1 = execute_plan(plan, cache=cache)
+        assert rep1.cache_writes == 7 and rep1.cache_hits == 0
+        _, rep2 = execute_plan(plan, cache=cache)
+        assert rep2.cache_hits == 7 and rep2.n_jobs == 0
+
+    def test_partial_cache_reuse(self, tmp_path):
+        # A grown spec re-uses the overlapping cells' cached values.
+        sb = SpecBuilder("t", "t")
+        parts = [sb.cell(f"p{i}", noisy_cell, seed=i) for i in range(6)]
+        sb.cell("total", total_cell, parts=parts)
+        cache = ResultCache(tmp_path)
+        execute_plan(compile_plan(sb.build(lambda rs: None)), cache=cache)
+
+        sb2 = SpecBuilder("t", "t")
+        parts2 = [sb2.cell(f"p{i}", noisy_cell, seed=i) for i in range(8)]
+        sb2.cell("total", total_cell, parts=parts2)
+        _, rep = execute_plan(compile_plan(sb2.build(lambda rs: None)), cache=cache)
+        assert rep.cache_hits == 6  # the six original leaves
+        assert rep.cache_misses == 3  # two new leaves + changed total
+
+    def test_eval_cells_grouped_into_batches(self):
+        sb = SpecBuilder("t", "t")
+        ref = system_ref(queueing_workload, n_queries=800, utilization=0.3)
+        evals = sb.evaluate_seeds(ref, NoReissue(), (1, 2, 3), 0.95)
+        spec = sb.build(lambda rs: rs.median_tail(evals, 0.95))
+        plan = compile_plan(spec)
+        _, report = execute_plan(plan)
+        assert report.n_batches == 1
+        assert report.n_batched_cells == 3
+
+    def test_failure_names_cell(self):
+        sb = SpecBuilder("t", "t")
+        sb.cell("kaboom", boom_cell)
+        plan = compile_plan(sb.build(lambda rs: None))
+        with pytest.raises(ValueError, match="boom"):
+            execute_plan(plan)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            sb2 = SpecBuilder("t", "t")
+            sb2.cell("kaboom", boom_cell)
+            sb2.cell("fine", noisy_cell, seed=1)
+            execute_plan(compile_plan(sb2.build(lambda rs: None)), workers=2)
+
+
+class TestEvaluationProtocol:
+    def test_eval_cell_matches_direct_run(self):
+        system = queueing_workload(n_queries=1200, utilization=0.3)
+        ref = system_ref(queueing_workload, n_queries=1200, utilization=0.3)
+        pol = SingleR(1.0, 0.3)
+        summary = evaluate_replication(
+            ref, pol, 5, percentiles=(0.95,), measure=("tails", "reissue_rate")
+        )
+        direct = system.run(pol, as_rng(5))
+        assert summary["tails"][0.95] == direct.tail(0.95)
+        assert summary["reissue_rate"] == direct.reissue_rate
+
+    def test_run_replications_batch_equals_loop(self):
+        system = queueing_workload(n_queries=1200, utilization=0.3)
+        assert supports_batch(system)
+        pol = SingleR(1.0, 0.3)
+        batch = run_replications(system, pol, (3, 4))
+        loop = [system.run(pol, as_rng(s)) for s in (3, 4)]
+        for b, l in zip(batch, loop):
+            assert np.array_equal(b.latencies, l.latencies)
+
+    def test_infinite_server_has_no_batch(self):
+        assert not supports_batch(independent_workload(100))
+
+
+class TestRunJobs:
+    def test_order_and_errors(self):
+        jobs = [
+            Job("a", noisy_cell, {"seed": 1}),
+            Job("b", boom_cell),
+            Job("c", noisy_cell, {"seed": 2}),
+        ]
+        out = run_jobs(jobs, n_workers=2)
+        assert [r.key for r in out] == ["a", "b", "c"]
+        assert out[0].ok and out[2].ok and not out[1].ok
+        assert "boom" in out[1].error
+        assert out[0].value == noisy_cell(1)
+
+    def test_lambda_rejected(self):
+        with pytest.raises(TypeError, match="module-level"):
+            run_jobs([Job("a", lambda: 0)])
+
+
+class TestRunExperimentKwargs:
+    def test_unknown_kwarg_names_experiment_and_choices(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(TypeError, match="fig7") as ei:
+            run_experiment("fig7", scale=TINY, panel="a")
+        assert "panels" in str(ei.value)  # suggests the accepted keyword
+
+    def test_known_kwarg_still_works(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment("fig7", scale=TINY, seed=1, panels="a")
+        assert res.meta["panels"] == "a"
+
+
+def test_pipeline_importable_before_experiments():
+    """repro.pipeline must not drag the figure drivers in transitively
+    (they import repro.pipeline back — a pipeline-first import used to
+    die in the half-initialized package)."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.pipeline; import repro.experiments"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+class TestCliFlags:
+    def test_run_subcommand_with_workers_and_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "cache"
+        rc = main(
+            ["run", "fig9", "--scale", "quick", "--workers", "2",
+             "--cache", str(cache)]
+        )
+        assert rc == 0
+        assert any(cache.iterdir())  # cache populated
+
+    def test_list_shows_scales(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scales:" in out
+        for name in ("quick", "standard", "full"):
+            assert name in out
