@@ -7,56 +7,65 @@ queries finish in ~2 ms, but the rare intersection of two huge sets — a
 every request queued behind it blows through its latency target. The
 baseline P99 is hundreds of times the mean.
 
-This example drives the full production workflow:
+This example drives the full production workflow through the declarative
+Scenario API:
 
-1. run the cluster substrate at 40% utilization and capture its logs;
-2. tune a SingleR policy with the adaptive optimizer (§4.3), which
-   accounts for the load the reissues themselves add;
-3. verify the collapse of the P99 and that the measured reissue rate
-   honours the budget;
+1. describe the cluster once as a Scenario and capture its baseline
+   anatomy (fastsim engine: bit-for-bit the reference simulation);
+2. tune a SingleR policy with the adaptive optimizer (§4.3) against the
+   scenario's system, which accounts for the load reissues themselves
+   add;
+3. drop the tuned policy into the same Scenario, verify the collapse of
+   the P99 and that the measured reissue rate honours the budget;
 4. peek inside: which reissues actually remediated the tail?
+
+A pinned variant of this scenario ships with the package — run it from
+the CLI with ``repro run redis-tail-taming --engine fastsim``.
 
 Run:  python examples/redis_tail_taming.py        (~1 minute)
 """
 
-import numpy as np
-
-from repro import NoReissue
 from repro.core.adaptive import AdaptiveSingleROptimizer
+from repro.scenarios import Session, scenario
 from repro.simulation.metrics import LatencySummary
-from repro.systems import RedisClusterSystem
 
 PERCENTILE = 0.99
 BUDGET = 0.03
 SEEDS = (11, 13, 17)
 
 
-def median_p99(system, policy):
-    return float(
-        np.median(
-            [
-                system.run(policy, np.random.default_rng(s)).tail(PERCENTILE)
-                for s in SEEDS
-            ]
-        )
+def redis_scenario(name: str, policy) -> "scenario":
+    return scenario(
+        name,
+        system="redis",
+        utilization=0.4,
+        n_queries=20_000,
+        policy=policy,
+        percentile=PERCENTILE,
+        budget=BUDGET,
+        seeds=SEEDS,
     )
 
 
 def main() -> None:
-    system = RedisClusterSystem(utilization=0.4, n_queries=20_000)
+    session = Session(engine="fastsim")
+    baseline_scenario = redis_scenario("redis-baseline", "none")
 
     # 1 — baseline anatomy.
-    base = system.run(NoReissue(), np.random.default_rng(SEEDS[0]))
-    print("baseline:", LatencySummary.from_run(base).row())
+    base_report = session.run(baseline_scenario)
+    print("baseline:", LatencySummary.from_run(base_report.runs[0]).row())
+    system = baseline_scenario.build_system()
     svc = system.service_time_sample(20_000, rng=1)
     print(
         f"service times: mean={svc.mean():.2f}ms, "
         f"{(svc > 150).sum()} queries of death (>150ms), max={svc.max():.0f}ms"
     )
-    p99_base = median_p99(system, NoReissue())
+    p99_base = base_report.median_tail
     print(f"baseline P99 (median of {len(SEEDS)} runs): {p99_base:.0f} ms\n")
 
     # 2 — adaptive SingleR tuning against the live system.
+    import numpy as np
+
     opt = AdaptiveSingleROptimizer(
         percentile=PERCENTILE, budget=BUDGET, learning_rate=0.5
     )
@@ -73,9 +82,10 @@ def main() -> None:
         )
     print(f"selected policy: {policy}\n")
 
-    # 3 — verify.
-    p99_hedged = median_p99(system, policy)
-    final = system.run(policy, np.random.default_rng(SEEDS[1]))
+    # 3 — verify: same scenario, tuned policy plugged in.
+    hedged_report = session.run(redis_scenario("redis-singler", policy))
+    p99_hedged = hedged_report.median_tail
+    final = hedged_report.runs[1]
     print(
         f"SingleR P99: {p99_hedged:.0f} ms "
         f"({100 * (1 - p99_hedged / p99_base):.0f}% below baseline) "

@@ -15,22 +15,25 @@ Run:  python examples/search_sla_planning.py        (~1-2 minutes)
 
 import numpy as np
 
-from repro import NoReissue, find_optimal_budget, min_budget_for_sla
+from repro import find_optimal_budget, min_budget_for_sla
 from repro.core.adaptive import AdaptiveSingleROptimizer
-from repro.systems import LuceneClusterSystem
+from repro.scenarios import build_system, make_policy
 
 PERCENTILE = 0.99
 SEEDS = (5, 7)
 
 
 def main() -> None:
-    system = LuceneClusterSystem(utilization=0.4, n_queries=12_000)
+    # The search tier, by scenario-registry kind — the same construction
+    # path `repro run` and the figure drivers use.
+    system = build_system("lucene", utilization=0.4, n_queries=12_000)
 
     def p99_at_budget(budget: float) -> float:
         """Tune SingleR at this budget, then measure the median P99."""
         if budget <= 0.0:
             runs = [
-                system.run(NoReissue(), np.random.default_rng(s)) for s in SEEDS
+                system.run(make_policy("none"), np.random.default_rng(s))
+                for s in SEEDS
             ]
             return float(np.median([r.tail(PERCENTILE) for r in runs]))
         opt = AdaptiveSingleROptimizer(

@@ -11,7 +11,11 @@ Public API highlights:
 * :mod:`repro.pipeline` — declarative, cached, batch-parallel experiment
   pipeline (spec → plan → execute → cache).
 * :mod:`repro.experiments` — declarative specs + render functions
-  regenerating every paper figure (``repro-experiment``).
+  regenerating every paper figure (``repro figure``).
+* :mod:`repro.scenarios` — the declarative Scenario API: one workload +
+  system + policy + objective + scale description, executed on any
+  engine (reference / fastsim / pipeline / serving) through the
+  ``Session`` facade and the unified ``repro`` CLI (``repro run``).
 """
 
 from .core import (

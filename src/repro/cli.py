@@ -1,17 +1,22 @@
-"""``repro-experiment``: regenerate any figure of the paper from the CLI.
+"""``repro-experiment``: deprecated alias for ``repro figure``.
+
+The figure-regeneration machinery lives here (the unified ``repro`` CLI
+mounts it as its ``figure`` subcommand); only the ``repro-experiment``
+entry point itself is deprecated.
 
 Examples
 --------
 ::
 
-    repro-experiment list
-    repro-experiment run fig3 --scale quick
-    repro-experiment run fig3 --scale standard --workers 4 --cache .repro-cache
-    repro-experiment run fig7 --scale standard --out results/
-    repro-experiment run all --scale quick --out results/
+    repro figure list
+    repro figure run fig3 --scale quick
+    repro figure run fig3 --scale standard --workers 4 --cache .repro-cache
+    repro figure run fig7 --scale standard --out results/
+    repro figure run all --scale quick --out results/
 
-``repro-experiment fig3 ...`` (without the ``run`` subcommand) is kept
-as a back-compatible alias.
+``repro-experiment ...`` still accepts the same arguments (including the
+historical ``repro-experiment fig3 ...`` spelling without the ``run``
+subcommand) and emits a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import inspect
 import signal
 import sys
 import time
+import warnings
 from pathlib import Path
 
 from .experiments import EXPERIMENTS, SCALES, run_experiment
@@ -43,7 +49,7 @@ def _write_outputs(out_dir: Path, result) -> None:
     (out_dir / f"{result.experiment_id}.csv").write_text(result.csv() + "\n")
 
 
-def _print_list() -> None:
+def print_figure_list() -> None:
     for eid in sorted(EXPERIMENTS):
         print(f"{eid}  {_experiment_summary(EXPERIMENTS[eid])}")
     print()
@@ -57,15 +63,9 @@ def _print_list() -> None:
         )
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiment",
-        description=(
-            "Reproduce figures from 'Optimal Reissue Policies for Reducing "
-            "Tail Latency' (SPAA 2017)."
-        ),
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def configure_figure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the figure subcommands (shared by old and new CLIs)."""
+    sub = parser.add_subparsers(dest="figure_command", required=True)
     sub.add_parser("list", help="list experiment ids and available scales")
     run_p = sub.add_parser("run", help="run one experiment, or 'all'")
     run_p.add_argument(
@@ -100,21 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for .txt/.csv outputs (default: print to stdout)",
     )
-    return parser
 
 
-def main(argv=None) -> int:
-    # Behave well in shell pipelines (`repro-experiment list | head`).
-    if hasattr(signal, "SIGPIPE"):
-        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
-    argv = list(sys.argv[1:] if argv is None else argv)
-    # Back-compat: `repro-experiment fig3 --scale quick` == `... run fig3 ...`.
-    if argv and argv[0] not in {"list", "run", "-h", "--help"}:
-        argv = ["run", *argv]
-    args = _build_parser().parse_args(argv)
-
-    if args.command == "list":
-        _print_list()
+def run_figure_command(args) -> int:
+    """Execute a parsed figure command (``list`` or ``run``)."""
+    if args.figure_command == "list":
+        print_figure_list()
         return 0
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -140,6 +131,38 @@ def main(argv=None) -> int:
             print(result.render())
             print(f"[{eid} completed in {elapsed:.1f}s]")
     return 0
+
+
+def normalize_figure_argv(argv: list[str]) -> list[str]:
+    """Back-compat: ``fig3 --scale quick`` == ``run fig3 --scale quick``."""
+    if argv and argv[0] not in {"list", "run", "-h", "--help"}:
+        return ["run", *argv]
+    return argv
+
+
+def main(argv=None) -> int:
+    """The deprecated ``repro-experiment`` entry point."""
+    warnings.warn(
+        "the 'repro-experiment' entry point is deprecated; use "
+        "'repro figure' (see 'repro --help')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Behave well in shell pipelines (`repro-experiment list | head`).
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "[deprecated: use 'repro figure'] Reproduce figures from "
+            "'Optimal Reissue Policies for Reducing Tail Latency' "
+            "(SPAA 2017)."
+        ),
+    )
+    configure_figure_parser(parser)
+    args = parser.parse_args(normalize_figure_argv(argv))
+    return run_figure_command(args)
 
 
 if __name__ == "__main__":

@@ -67,7 +67,25 @@ class RunResult:
     meta: dict = field(default_factory=dict)
 
     def tail(self, percentile: float) -> float:
-        """k-th percentile of query latency, ``percentile`` in (0, 1)."""
+        """k-th percentile of query latency, ``percentile`` in (0, 1).
+
+        Raises a named :class:`ValueError` on an empty latency log —
+        numpy's quantile error would not say *which* run produced no
+        samples (a warmup window larger than the trace, a serving stream
+        that served zero requests, ...).
+        """
+        if self.latencies.size == 0:
+            label = (
+                self.meta.get("scenario")
+                or self.meta.get("system")
+                or self.meta.get("key")
+                or "run"
+            )
+            raise ValueError(
+                f"cannot compute the P{100 * percentile:g} tail of "
+                f"{label!r}: the run recorded no query latencies "
+                "(n_queries=0, or every query fell in the warmup window)"
+            )
         return float(
             np.quantile(self.latencies, percentile, method="higher")
         )

@@ -18,11 +18,25 @@ numerically against closed-form distributions.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
 from ..distributions.base import Distribution, RngLike, as_rng
+
+#: Spec kind → policy class, populated by the class definitions below.
+#: This is the canonical naming shared by ``ReissuePolicy.from_spec`` and
+#: the scenario registries (:mod:`repro.scenarios.registry`).
+POLICY_KINDS: dict[str, type] = {}
+
+
+def _register_policy(kind: str):
+    def deco(cls):
+        cls.spec_kind = kind
+        POLICY_KINDS[kind] = cls
+        return cls
+
+    return deco
 
 
 class ReissuePolicy:
@@ -163,7 +177,50 @@ class ReissuePolicy:
                 lo = mid
         return hi
 
+    # -- declarative spec interface -----------------------------------------
+    def to_spec(self) -> dict:
+        """Plain-dict form of this policy, invertible by :meth:`from_spec`.
+
+        The spec uses only primitives (strings, numbers, nested lists), so
+        it serializes to JSON/TOML unchanged — the representation the
+        scenario registry stores and ships.
+        """
+        return {
+            "kind": self.spec_kind,
+            "stages": [[float(d), float(q)] for d, q in self._stages],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "ReissuePolicy":
+        """Rebuild a policy (of its original class) from a spec mapping.
+
+        Round-trip contract: ``ReissuePolicy.from_spec(p.to_spec())``
+        yields an instance of ``type(p)`` that compares and hashes equal
+        to ``p``.
+        """
+        params = dict(spec)
+        kind = params.pop("kind", None)
+        if kind is None:
+            raise ValueError("policy spec is missing the 'kind' field")
+        target = POLICY_KINDS.get(kind)
+        if target is None:
+            raise ValueError(
+                f"unknown policy kind {kind!r}; "
+                f"known kinds: {sorted(POLICY_KINDS)}"
+            )
+        if "stages" in params:
+            params["stages"] = [tuple(s) for s in params["stages"]]
+        try:
+            return target(**params)
+        except TypeError as exc:
+            raise ValueError(
+                f"bad parameters for policy kind {kind!r}: {exc}"
+            ) from None
+
     def __eq__(self, other) -> bool:
+        # Identity is the stage sequence alone: a policy reconstructed via
+        # from_spec/to_spec (or any other route to the same stages)
+        # compares — and hashes — equal to the original.
         return (
             isinstance(other, ReissuePolicy) and self._stages == other._stages
         )
@@ -176,13 +233,23 @@ class ReissuePolicy:
         return f"{type(self).__name__}[{inner}]"
 
 
+# The base class itself is addressable as kind "stages": an arbitrary
+# stage list with no family-specific structure.
+_register_policy("stages")(ReissuePolicy)
+
+
+@_register_policy("none")
 class NoReissue(ReissuePolicy):
     """Baseline: never reissue."""
 
     def __init__(self):
         super().__init__(())
 
+    def to_spec(self) -> dict:
+        return {"kind": "none"}
 
+
+@_register_policy("immediate")
 class ImmediateReissue(ReissuePolicy):
     """Dispatch ``copies`` duplicates at t=0 (the low-utilization strategy)."""
 
@@ -192,7 +259,11 @@ class ImmediateReissue(ReissuePolicy):
         super().__init__([(0.0, 1.0)] * int(copies))
         self.copies = int(copies)
 
+    def to_spec(self) -> dict:
+        return {"kind": "immediate", "copies": self.copies}
 
+
+@_register_policy("single-d")
 class SingleD(ReissuePolicy):
     """Delayed deterministic reissue after ``delay`` ("Tail at Scale")."""
 
@@ -210,7 +281,11 @@ class SingleD(ReissuePolicy):
             raise ValueError("budget must be in (0, 1]")
         return cls(float(primary.quantile(1.0 - budget)))
 
+    def to_spec(self) -> dict:
+        return {"kind": "single-d", "delay": self.delay}
 
+
+@_register_policy("single-r")
 class SingleR(ReissuePolicy):
     """The paper's policy: reissue after ``delay`` with probability ``prob``."""
 
@@ -231,14 +306,23 @@ class SingleR(ReissuePolicy):
         q = 1.0 if surv <= budget else budget / surv
         return SingleR(self.delay, q)
 
+    def to_spec(self) -> dict:
+        return {"kind": "single-r", "delay": self.delay, "prob": self.prob}
 
+
+@_register_policy("double-r")
 class DoubleR(ReissuePolicy):
     """Two-stage randomized policy (Theorem 3.1 comparison family)."""
 
     def __init__(self, d1: float, q1: float, d2: float, q2: float):
         super().__init__([(float(d1), float(q1)), (float(d2), float(q2))])
 
+    def to_spec(self) -> dict:
+        (d1, q1), (d2, q2) = self._stages
+        return {"kind": "double-r", "d1": d1, "q1": q1, "d2": d2, "q2": q2}
 
+
+@_register_policy("multiple-r")
 class MultipleR(ReissuePolicy):
     """n-stage randomized policy (Theorem 3.2 comparison family)."""
 
@@ -246,3 +330,9 @@ class MultipleR(ReissuePolicy):
         if len(stages) == 0:
             raise ValueError("MultipleR needs at least one stage")
         super().__init__(stages)
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "multiple-r",
+            "stages": [[float(d), float(q)] for d, q in self._stages],
+        }

@@ -15,12 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.policies import NoReissue
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.cells import adaptive_trace_cell
-from ..pipeline.spec import system_ref
+from ..scenarios.registry import make_policy, system_spec_ref
 from ..simulation.metrics import inverse_cdf_series
-from ..simulation.workloads import queueing_workload
 from ..viz.ascii_chart import line_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
 
@@ -33,8 +31,8 @@ def build_spec(scale: Scale, seed: int):
     sb = SpecBuilder(
         "fig2", "Load perturbation and adaptive convergence (30% budget)"
     )
-    system = system_ref(
-        queueing_workload, n_queries=scale.n_queries, utilization=0.3
+    system = system_spec_ref(
+        "queueing", n_queries=scale.n_queries, utilization=0.3
     )
 
     adaptive = sb.cell(
@@ -49,7 +47,7 @@ def build_spec(scale: Scale, seed: int):
     )
     base = sb.evaluate(
         system,
-        NoReissue(),
+        make_policy("none"),
         seed + 1,
         measure=("sorted_primary",),
         key="run/base",

@@ -24,15 +24,10 @@ import numpy as np
 from ..core.correlated import compute_optimal_singler_correlated
 from ..core.interfaces import remediation_rate
 from ..core.optimizer import compute_optimal_singler, fit_singled_policy
-from ..core.policies import NoReissue, SingleR
 from ..distributions.base import as_rng
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.spec import SystemRef, system_ref
-from ..simulation.workloads import (
-    correlated_workload,
-    independent_workload,
-    queueing_workload,
-)
+from ..scenarios.registry import build_system, make_policy
 from ..viz.ascii_chart import line_chart
 from .common import (
     ExperimentResult,
@@ -43,17 +38,14 @@ from .common import (
 )
 
 PERCENTILE = 0.95
+#: The three §5.1 workloads, by scenario-registry kind.
 WORKLOADS = ("independent", "correlated", "queueing")
 
 
 def make_workload(name: str, n_queries: int):
-    if name == "independent":
-        return independent_workload(n_queries)
-    if name == "correlated":
-        return correlated_workload(n_queries)
     if name == "queueing":
-        return queueing_workload(n_queries=n_queries, utilization=0.3)
-    raise KeyError(f"unknown workload {name!r}")
+        return build_system(name, n_queries=n_queries, utilization=0.3)
+    return build_system(name, n_queries=n_queries)
 
 
 def fit_policies_cell(
@@ -66,12 +58,17 @@ def fit_policies_cell(
         sr = fit_singler(system, PERCENTILE, budget, scale, rng=rng)
         sd = fit_singled(system, budget, scale, rng=rng)
         return sr, sd
-    base = system.run(NoReissue(), rng)
+    base = system.run(make_policy("none"), rng)
     rx = base.primary_response_times
     if name == "correlated":
         # Collect correlated (X, Y) pairs with an immediate probe policy,
         # then run the §4.2 conditional-CDF search.
-        probe = system.run(SingleR(0.0, min(1.0, max(budget, 0.05))), rng)
+        probe = system.run(
+            make_policy(
+                "single-r", delay=0.0, prob=min(1.0, max(budget, 0.05))
+            ),
+            rng,
+        )
         fit = compute_optimal_singler_correlated(
             rx, probe.reissue_pair_x, probe.reissue_pair_y, PERCENTILE, budget
         )
@@ -89,11 +86,11 @@ def build_spec(scale: Scale, seed: int, budgets: np.ndarray):
     for name in WORKLOADS:
         system = system_ref(make_workload, name=name, n_queries=scale.n_queries)
         baseline = sb.evaluate_seeds(
-            system, NoReissue(), scale.eval_seeds, PERCENTILE
+            system, make_policy("none"), scale.eval_seeds, PERCENTILE
         )
         base_run = sb.evaluate(
             system,
-            NoReissue(),
+            make_policy("none"),
             seed,
             measure=("sorted_primary",),
             key=f"run/{name}/base",

@@ -18,14 +18,12 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
-from ..core.policies import SingleR
 from ..pipeline import SpecBuilder, run_pipeline
-from ..pipeline.spec import system_ref
-from ..simulation.workloads import correlated_workload, queueing_workload
+from ..scenarios.registry import make_policy, system_spec_ref
 from ..viz.ascii_chart import multi_chart, scatter_chart
 from .common import ExperimentResult, Scale, get_scale
 
-PROBE = SingleR(0.0, 0.3)
+PROBE = make_policy("single-r", delay=0.0, prob=0.3)
 CLIP = 2000.0  # the paper plots the [0, 2000] x [0, 2000] window
 
 
@@ -36,15 +34,15 @@ def build_spec(scale: Scale, seed: int):
     )
     pairs = {
         "correlated": sb.evaluate(
-            system_ref(correlated_workload, n_queries=scale.n_queries),
+            system_spec_ref("correlated", n_queries=scale.n_queries),
             PROBE,
             seed,
             measure=("pairs",),
             key="run/correlated/probe",
         ),
         "queueing": sb.evaluate(
-            system_ref(
-                queueing_workload, n_queries=scale.n_queries, utilization=0.3
+            system_spec_ref(
+                "queueing", n_queries=scale.n_queries, utilization=0.3
             ),
             PROBE,
             seed,

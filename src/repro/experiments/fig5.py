@@ -19,11 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.policies import NoReissue
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.cells import fit_singler_cell
-from ..pipeline.spec import system_ref
-from ..simulation.workloads import queueing_workload
+from ..scenarios.registry import make_policy, system_spec_ref
 from ..viz.ascii_chart import line_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
 
@@ -59,15 +57,15 @@ def build_spec(scale: Scale, seed: int):
     panel_a = []
     base_a = None
     for r in ratios:
-        system = system_ref(
-            queueing_workload,
+        system = system_spec_ref(
+            "queueing",
             n_queries=scale.n_queries,
             utilization=0.3,
             ratio=float(r),
         )
         if base_a is None:
             base_a = sb.evaluate_seeds(
-                system, NoReissue(), scale.eval_seeds, PERCENTILE
+                system, make_policy("none"), scale.eval_seeds, PERCENTILE
             )
         panel_a.append((float(r), point(f"a/r{float(r):.6g}", system, 0.25)))
 
@@ -76,15 +74,15 @@ def build_spec(scale: Scale, seed: int):
     panel_bc = {}
     for panel, (dim, variants) in PANELS.items():
         for variant in variants:
-            system = system_ref(
-                queueing_workload,
+            system = system_spec_ref(
+                "queueing",
                 n_queries=scale.n_queries,
                 utilization=0.3,
                 ratio=0.0,
                 **{dim: variant},
             )
             baseline = sb.evaluate_seeds(
-                system, NoReissue(), scale.eval_seeds, PERCENTILE
+                system, make_policy("none"), scale.eval_seeds, PERCENTILE
             )
             points = [
                 (

@@ -14,19 +14,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.policies import NoReissue
-from ..distributions import Exponential, LogNormal
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.cells import fit_singler_cell
 from ..pipeline.spec import system_ref
-from ..simulation.workloads import queueing_workload
+from ..scenarios.registry import build_system, make_distribution, make_policy
 from ..viz.ascii_chart import line_chart
 from .common import ExperimentResult, Scale, get_scale
 
 UTILIZATIONS = (0.2, 0.3, 0.5)
+#: Figure label → (distribution-registry kind, parameters).
 DISTRIBUTIONS = {
-    "LogNormal(1,1)": lambda: LogNormal(1.0, 1.0),
-    "Exp(0.1)": lambda: Exponential(0.1),
+    "LogNormal(1,1)": ("lognormal", {"mu": 1.0, "sigma": 1.0}),
+    "Exp(0.1)": ("exponential", {"rate": 0.1}),
 }
 PERCENTILES = (0.95, 0.99)
 
@@ -34,11 +33,13 @@ PERCENTILES = (0.95, 0.99)
 def make_system(dist_name: str, utilization: float, n_queries: int):
     if dist_name not in DISTRIBUTIONS:
         raise KeyError(f"unknown distribution {dist_name!r}")
-    return queueing_workload(
+    kind, params = DISTRIBUTIONS[dist_name]
+    return build_system(
+        "queueing",
         n_queries=n_queries,
         utilization=utilization,
         ratio=0.0,
-        base=DISTRIBUTIONS[dist_name](),
+        base=make_distribution(kind, **params),
     )
 
 
@@ -58,7 +59,7 @@ def build_spec(scale: Scale, seed: int):
             )
             for pct in PERCENTILES:
                 baseline = sb.evaluate_seeds(
-                    system, NoReissue(), scale.eval_seeds, pct
+                    system, make_policy("none"), scale.eval_seeds, pct
                 )
                 points = []
                 for budget in budgets:

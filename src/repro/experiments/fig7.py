@@ -18,7 +18,6 @@ sequential cell fed by the shared baseline reduction.
 
 from __future__ import annotations
 
-from ..core.policies import NoReissue
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.cells import (
     budget_search_cell,
@@ -26,7 +25,7 @@ from ..pipeline.cells import (
     fit_singler_cell,
 )
 from ..pipeline.spec import system_ref
-from ..systems import LuceneClusterSystem, RedisClusterSystem
+from ..scenarios.registry import build_system, make_policy
 from ..viz.ascii_chart import line_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
 
@@ -35,11 +34,9 @@ SYSTEMS = ("redis", "lucene")
 
 
 def make_system(name: str, utilization: float, n_queries: int):
-    if name == "redis":
-        return RedisClusterSystem(utilization=utilization, n_queries=n_queries)
-    if name == "lucene":
-        return LuceneClusterSystem(utilization=utilization, n_queries=n_queries)
-    raise KeyError(f"unknown system {name!r}")
+    if name not in SYSTEMS:
+        raise KeyError(f"unknown system {name!r}")
+    return build_system(name, utilization=utilization, n_queries=n_queries)
 
 
 def build_spec(scale: Scale, seed: int, panels: str):
@@ -54,7 +51,7 @@ def build_spec(scale: Scale, seed: int, panels: str):
 
     def baseline_at(name: str, util: float):
         return sb.evaluate_seeds(
-            system_at(name, util), NoReissue(), scale.eval_seeds, PERCENTILE
+            system_at(name, util), make_policy("none"), scale.eval_seeds, PERCENTILE
         )
 
     def singler_point(name: str, util: float, budget: float, tag: str):

@@ -12,11 +12,10 @@ each probe depends on the previous one — so it cannot fan out).
 
 from __future__ import annotations
 
-from ..core.policies import NoReissue
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.cells import budget_search_cell
 from ..pipeline.spec import system_ref
-from ..systems import RedisClusterSystem
+from ..scenarios.registry import build_system, make_policy
 from ..viz.ascii_chart import line_chart, multi_chart
 from .common import ExperimentResult, Scale, get_scale
 
@@ -25,7 +24,7 @@ UTILIZATION = 0.2
 
 
 def make_system(n_queries: int):
-    return RedisClusterSystem(utilization=UTILIZATION, n_queries=n_queries)
+    return build_system("redis", utilization=UTILIZATION, n_queries=n_queries)
 
 
 def build_spec(scale: Scale, seed: int):
@@ -34,7 +33,7 @@ def build_spec(scale: Scale, seed: int):
     )
     system = system_ref(make_system, n_queries=scale.n_queries)
     baseline = sb.evaluate_seeds(
-        system, NoReissue(), scale.eval_seeds, PERCENTILE
+        system, make_policy("none"), scale.eval_seeds, PERCENTILE
     )
     base_stat = sb.median_tail_cell("reduce/base", baseline, PERCENTILE)
     search = sb.cell(

@@ -1,0 +1,295 @@
+"""``repro``: the unified command line for the whole reproduction.
+
+One front door for every layer the repo grew — offline simulation,
+vectorized fastsim, the cached experiment pipeline, and the live serving
+runtime — driven by the declarative Scenario API:
+
+::
+
+    repro scenarios list                 # bundled scenarios + registries
+    repro scenarios validate             # check every bundled .toml
+    repro scenarios validate my.toml     # ... or your own files
+    repro run queueing-tail-quick        # run a scenario (reference engine)
+    repro run my.toml --engine fastsim --seeds 101,103
+    repro run redis-tail-taming --engine pipeline --workers 4 --cache .c
+    repro run queueing-tail-quick --engine serving --requests 500
+    repro figure list                    # paper figures (was repro-experiment)
+    repro figure run fig3 --scale quick
+    repro serve --backend drifting --policy auto   (was repro-serve)
+
+``repro-experiment`` and ``repro-serve`` remain as deprecated aliases of
+``repro figure`` and ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+from pathlib import Path
+
+from .cli import (
+    configure_figure_parser,
+    normalize_figure_argv,
+    run_figure_command,
+)
+from .serving.cli import SERVE_DESCRIPTION, configure_serve_parser, run_serve_command
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(s) for s in text.replace(",", " ").split())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be integers like '101,103', got {text!r}"
+        ) from None
+
+
+# -- repro run ---------------------------------------------------------------
+
+
+def configure_run_parser(parser: argparse.ArgumentParser) -> None:
+    from .scenarios import engine_names
+
+    parser.add_argument(
+        "scenario",
+        help="a bundled scenario name (see 'repro scenarios list') or a "
+        "path to a .toml scenario file",
+    )
+    parser.add_argument(
+        "--engine",
+        default="reference",
+        choices=engine_names(),
+        help="execution engine (default: reference)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=None,
+        metavar="S1,S2,...",
+        help="override the scenario's evaluation seeds",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (pipeline engine)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache (pipeline engine)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="requests per seed (serving engine; default: scale.n_queries)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="wall seconds per model ms (serving engine, default 1e-5)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report summary as JSON instead of the table",
+    )
+
+
+def run_run_command(args) -> int:
+    from .scenarios import Session
+
+    # Refuse flags the chosen engine would silently ignore.
+    mismatched = []
+    if args.engine != "pipeline":
+        if args.workers is not None:
+            mismatched.append("--workers")
+        if args.cache is not None:
+            mismatched.append("--cache")
+    if args.engine != "serving":
+        if args.requests is not None:
+            mismatched.append("--requests")
+        if args.time_scale is not None:
+            mismatched.append("--time-scale")
+    if mismatched:
+        print(
+            f"error: {', '.join(mismatched)} does not apply to the "
+            f"{args.engine!r} engine",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine_options = {}
+    if args.engine == "serving":
+        engine_options["time_scale"] = (
+            1e-5 if args.time_scale is None else args.time_scale
+        )
+        if args.requests is not None:
+            engine_options["requests"] = args.requests
+    session = Session(
+        args.engine,
+        workers=args.workers,
+        cache_dir=args.cache,
+        engine_options=engine_options,
+    )
+    t0 = time.perf_counter()
+    try:
+        # Session.run coerces and validates; its ValueError already lists
+        # every problem the scenario has.
+        report = session.run(args.scenario, seeds=args.seeds)
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, default=float))
+    else:
+        print(report.render())
+        print(f"[{report.scenario.name} on {args.engine} in {elapsed:.1f}s]")
+    return 0
+
+
+# -- repro scenarios ---------------------------------------------------------
+
+
+def configure_scenarios_parser(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="scenarios_command", required=True)
+    sub.add_parser(
+        "list",
+        help="list bundled scenarios and the registered systems/policies/"
+        "distributions/engines",
+    )
+    val = sub.add_parser(
+        "validate", help="validate scenario files (default: every bundled one)"
+    )
+    val.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="scenario .toml files (default: the bundled set)",
+    )
+
+
+def run_scenarios_command(args) -> int:
+    from .scenarios import (
+        BUNDLED_DIR,
+        DISTRIBUTIONS,
+        POLICIES,
+        SYSTEMS,
+        bundled_scenario_names,
+        bundled_scenarios,
+        engine_names,
+    )
+
+    if args.scenarios_command == "list":
+        print("bundled scenarios:")
+        for sc in bundled_scenarios():
+            first = sc.description.split(". ")[0].rstrip(".")
+            print(f"  {sc.name:<26} {first}")
+        print()
+        print("engines:", "  ".join(engine_names()))
+        for registry in (SYSTEMS, POLICIES, DISTRIBUTIONS):
+            print()
+            plural = "policies" if registry.kind == "policy" else f"{registry.kind}s"
+            print(f"{plural}:")
+            for entry in registry.entries():
+                print(f"  {entry.name:<26} {entry.summary}")
+        return 0
+
+    if args.scenarios_command == "validate":
+        from .scenarios.serialize import load
+
+        paths = list(args.paths) or [
+            BUNDLED_DIR / f"{name}.toml" for name in bundled_scenario_names()
+        ]
+        failures = 0
+        for path in paths:
+            try:
+                scenario = load(path)
+                problems = scenario.validate()
+            except (ValueError, OSError) as exc:
+                problems = [str(exc)]
+                scenario = None
+            label = scenario.name if scenario is not None else path.name
+            if problems:
+                failures += 1
+                print(f"FAIL {label} ({path})")
+                for p in problems:
+                    print(f"  - {p}")
+            else:
+                print(f"ok   {label} ({path})")
+        print(f"{len(paths) - failures}/{len(paths)} scenario(s) valid")
+        return 1 if failures else 0
+
+    raise AssertionError(args.scenarios_command)  # pragma: no cover
+
+
+# -- the umbrella parser -----------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimal Reissue Policies for Reducing Tail "
+            "Latency' (SPAA 2017): declarative scenarios, paper figures, "
+            "and a live hedging runtime."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="execute a declarative scenario on any engine"
+    )
+    configure_run_parser(run_p)
+
+    scen_p = sub.add_parser(
+        "scenarios", help="list or validate declarative scenarios"
+    )
+    configure_scenarios_parser(scen_p)
+
+    fig_p = sub.add_parser(
+        "figure", help="regenerate paper figures (was repro-experiment)"
+    )
+    configure_figure_parser(fig_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve a live request stream (was repro-serve)",
+        description=SERVE_DESCRIPTION,
+    )
+    configure_serve_parser(serve_p)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    # Behave well in shell pipelines (`repro scenarios list | head`).
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `repro figure fig3 ...` keeps working like the old bare spelling.
+    if argv and argv[0] == "figure":
+        argv = ["figure", *normalize_figure_argv(argv[1:])]
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        return run_run_command(args)
+    if args.command == "scenarios":
+        return run_scenarios_command(args)
+    if args.command == "figure":
+        return run_figure_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,267 @@
+"""Entry-point-style registries for systems, policies, and distributions.
+
+The registries are the scenario layer's level of indirection: a Scenario
+names its parts by *kind* strings ("queueing", "single-r", "pareto"), and
+every front end — the figure drivers, the examples, the TOML files, the
+``repro`` CLI — resolves those names here. Adding a workload therefore
+means registering one factory, not editing four layers.
+
+Registered factories must be module-level callables taking primitive
+keyword arguments (the same restriction the pipeline's
+:func:`repro.pipeline.spec.system_ref` imposes): that keeps every
+registry entry fingerprintable, picklable into worker processes, and
+serializable to TOML.
+
+Third-party packs extend the same registries::
+
+    from repro.scenarios import SYSTEMS
+
+    @SYSTEMS.register("my-cluster", summary="two-tier fanout cluster")
+    def my_cluster(n_queries: int = 20_000, fanout: int = 4):
+        return MyClusterSystem(...)
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.policies import POLICY_KINDS, ReissuePolicy
+from ..distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from ..simulation.workloads import (
+    correlated_workload,
+    independent_workload,
+    queueing_workload,
+)
+from ..systems import LuceneClusterSystem, RedisClusterSystem
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered factory plus the metadata the CLI lists."""
+
+    name: str
+    factory: Callable[..., Any]
+    summary: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def signature(self) -> inspect.Signature:
+        return inspect.signature(self.factory)
+
+    def bind(self, **kwargs) -> dict:
+        """Validate ``kwargs`` against the factory signature.
+
+        Returns the bound arguments (without defaults applied) or raises
+        a ``ValueError`` naming the entry and the accepted parameters —
+        the error a mistyped TOML key surfaces as.
+        """
+        try:
+            bound = self.signature().bind(**kwargs)
+        except TypeError as exc:
+            accepted = ", ".join(self.signature().parameters)
+            raise ValueError(
+                f"{self.name!r}: {exc}; accepted parameters: {accepted}"
+            ) from None
+        return dict(bound.arguments)
+
+    def build(self, **kwargs) -> Any:
+        self.bind(**kwargs)
+        return self.factory(**kwargs)
+
+
+class Registry:
+    """A named kind → factory mapping with decorator registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        summary: str = "",
+        **metadata,
+    ):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+
+        def _add(fn):
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {self._entries[name].factory!r})"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name, factory=fn, summary=summary, metadata=dict(metadata)
+            )
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def get(self, name: str) -> RegistryEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; "
+                f"registered: {sorted(self._entries)}"
+            ) from None
+
+    def build(self, name: str, **kwargs) -> Any:
+        return self.get(name).build(**kwargs)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        return [self._entries[n] for n in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: System substrates (anything implementing ``SystemUnderTest``).
+SYSTEMS = Registry("system")
+
+#: Reissue-policy families, backed by ``ReissuePolicy.from_spec``.
+POLICIES = Registry("policy")
+
+#: Service-time distributions usable as workload overrides.
+DISTRIBUTIONS = Registry("distribution")
+
+
+# -- built-in systems --------------------------------------------------------
+
+SYSTEMS.register(
+    "independent",
+    independent_workload,
+    summary="§5.1 Independent: i.i.d. service times, infinite servers",
+    workload_params={"base": "base"},
+    serving_backend="synthetic",
+)
+SYSTEMS.register(
+    "correlated",
+    correlated_workload,
+    summary="§5.1 Correlated: Y = r·x + Z, infinite servers",
+    workload_params={"base": "base", "correlation": "ratio"},
+    serving_backend="synthetic",
+)
+SYSTEMS.register(
+    "queueing",
+    queueing_workload,
+    summary="§5.1 Queueing: Poisson arrivals into N queued servers",
+    workload_params={"base": "base", "correlation": "ratio"},
+    serving_backend="synthetic",
+)
+SYSTEMS.register(
+    "redis",
+    RedisClusterSystem,
+    summary="§6.2 Redis set-intersection cluster (round-robin connections)",
+    workload_params={},
+    serving_backend="redis",
+)
+SYSTEMS.register(
+    "lucene",
+    LuceneClusterSystem,
+    summary="§6.3 Lucene search cluster (single shared FIFO)",
+    workload_params={},
+    serving_backend="search",
+)
+
+
+# -- built-in policies -------------------------------------------------------
+
+_POLICY_SUMMARIES = {
+    "none": "baseline: never reissue",
+    "immediate": "n duplicates at t=0 (low-utilization strategy)",
+    "single-d": "deterministic delayed reissue ('Tail at Scale')",
+    "single-r": "the paper's (d, q) randomized single reissue",
+    "double-r": "two-stage randomized policy (Thm 3.1 family)",
+    "multiple-r": "n-stage randomized policy (Thm 3.2 family)",
+    "stages": "raw (delay, probability) stage list",
+}
+for _kind, _cls in POLICY_KINDS.items():
+    POLICIES.register(
+        _kind, _cls, summary=_POLICY_SUMMARIES.get(_kind, _cls.__name__)
+    )
+
+
+def make_policy(kind: str, **params) -> ReissuePolicy:
+    """Construct a policy by registry kind: the drivers' entry point.
+
+    ``make_policy("single-r", delay=6.0, prob=0.5)`` ==
+    ``SingleR(6.0, 0.5)``, but resolved through the registry — so a
+    third-party kind added with ``POLICIES.register`` is constructible
+    here (and from scenario specs) exactly like the built-in families,
+    which all resolve to the ``POLICY_KINDS`` classes.
+    """
+    entry = POLICIES.get(kind)
+    if "stages" in params:
+        params["stages"] = [tuple(s) for s in params["stages"]]
+    try:
+        policy = entry.factory(**params)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for policy kind {kind!r}: {exc}"
+        ) from None
+    if not isinstance(policy, ReissuePolicy):
+        raise TypeError(
+            f"policy factory {kind!r} returned "
+            f"{type(policy).__name__}, not a ReissuePolicy"
+        )
+    return policy
+
+
+# -- built-in distributions --------------------------------------------------
+
+DISTRIBUTIONS.register("pareto", Pareto, summary="Pareto Type I (shape, mode)")
+DISTRIBUTIONS.register("lognormal", LogNormal, summary="LogNormal (mu, sigma)")
+DISTRIBUTIONS.register(
+    "exponential", Exponential, summary="Exponential (rate)"
+)
+DISTRIBUTIONS.register("weibull", Weibull, summary="Weibull (shape, scale)")
+DISTRIBUTIONS.register("uniform", Uniform, summary="Uniform (low, high)")
+DISTRIBUTIONS.register(
+    "deterministic", Deterministic, summary="point mass (value)"
+)
+
+
+def make_distribution(kind: str, **params):
+    """Construct a service-time distribution by registry kind."""
+    return DISTRIBUTIONS.build(kind, **params)
+
+
+def system_spec_ref(kind: str, **kwargs):
+    """A pipeline :class:`~repro.pipeline.spec.SystemRef` for a registered
+    system — what the figure drivers declare their cells against.
+
+    The ref carries the *registered factory itself* (not the kind
+    string), so refs built through the registry fingerprint identically
+    to refs built from a direct import — pipeline caches and dedupe are
+    unaffected by which spelling a driver uses.
+    """
+    from ..pipeline.spec import system_ref
+
+    return system_ref(SYSTEMS.get(kind).factory, **kwargs)
+
+
+def build_system(kind: str, **kwargs):
+    """Construct a registered system instance directly."""
+    return SYSTEMS.build(kind, **kwargs)

@@ -1,0 +1,94 @@
+"""Scenario ⇄ TOML.
+
+Parsing uses the stdlib ``tomllib``; emission is a small writer covering
+exactly the scenario schema's value space — scalars, homogeneous arrays
+(including arrays of arrays for policy stages), and nested tables. The
+emitter is type-faithful: ints stay ints, floats always carry a decimal
+point, so ``load(dumps(s))`` reproduces the scenario fingerprint
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import tomllib
+from pathlib import Path
+from typing import Any, Mapping
+
+from .model import Scenario
+
+
+def _fmt_scalar(v: Any) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        if math.isinf(v) or math.isnan(v):
+            raise ValueError(f"cannot serialize non-finite float {v!r} to TOML")
+        text = repr(v)
+        # repr(float) may omit the point for exponent forms like 1e-05;
+        # TOML parses both spellings as float, so only bare ints need help.
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(v, str):
+        escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+        # TOML basic strings must escape control characters too — a raw
+        # newline in a description would otherwise emit invalid TOML.
+        escaped = (
+            escaped.replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+        )
+        escaped = "".join(
+            f"\\u{ord(c):04X}" if ord(c) < 0x20 or ord(c) == 0x7F else c
+            for c in escaped
+        )
+        return f'"{escaped}"'
+    raise TypeError(f"cannot serialize {type(v).__name__} scalar to TOML: {v!r}")
+
+
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, (list, tuple)):
+        return "[" + ", ".join(_fmt_value(x) for x in v) + "]"
+    return _fmt_scalar(v)
+
+
+def _emit_table(out: list[str], table: Mapping[str, Any], prefix: str) -> None:
+    subtables = []
+    for key in table:
+        value = table[key]
+        if isinstance(value, Mapping):
+            subtables.append(key)
+        else:
+            out.append(f"{key} = {_fmt_value(value)}")
+    for key in subtables:
+        path = f"{prefix}.{key}" if prefix else key
+        out.append("")
+        out.append(f"[{path}]")
+        _emit_table(out, table[key], path)
+
+
+def dumps(scenario: Scenario) -> str:
+    """Serialize a scenario to TOML text."""
+    out: list[str] = []
+    _emit_table(out, scenario.to_dict(), "")
+    return "\n".join(out).strip() + "\n"
+
+
+def loads(text: str) -> Scenario:
+    """Parse TOML text into a :class:`Scenario`."""
+    return Scenario.from_dict(tomllib.loads(text))
+
+
+def load(path) -> Scenario:
+    """Load a scenario from a ``.toml`` file."""
+    path = Path(path)
+    try:
+        return loads(path.read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError(f"{path}: invalid TOML: {exc}") from None
+
+
+def save(scenario: Scenario, path) -> Path:
+    """Write a scenario to a ``.toml`` file; returns the path."""
+    path = Path(path)
+    path.write_text(dumps(scenario))
+    return path

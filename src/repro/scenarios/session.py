@@ -1,0 +1,117 @@
+"""The Session facade: execute any Scenario on a chosen engine.
+
+A :class:`Session` pins the execution choices (engine, workers, cache,
+engine options) once; :meth:`Session.run` then accepts anything
+scenario-like — a :class:`~repro.scenarios.model.Scenario`, a plain
+dict, a ``.toml`` path, or a bundled scenario name — and returns the
+engine-independent :class:`~repro.scenarios.engines.ScenarioReport`.
+
+::
+
+    from repro.scenarios import Session
+
+    report = Session(engine="fastsim").run("queueing-tail-quick")
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from .engines import ENGINES, ScenarioReport, _tag, engine_names
+from .model import Scenario
+
+
+def coerce_scenario(source) -> Scenario:
+    """Anything scenario-like → Scenario.
+
+    Accepts a Scenario, a plain mapping, a path to a ``.toml`` file, or
+    the name of a bundled scenario.
+    """
+    from . import bundled_scenario, bundled_scenario_names
+    from .serialize import load
+
+    if isinstance(source, Scenario):
+        return source
+    if isinstance(source, Mapping):
+        return Scenario.from_dict(source)
+    if isinstance(source, Path) or (
+        isinstance(source, str) and source.endswith(".toml")
+    ):
+        return load(source)
+    if isinstance(source, str):
+        if source in bundled_scenario_names():
+            return bundled_scenario(source)
+        raise KeyError(
+            f"unknown scenario {source!r}: not a .toml path and not one of "
+            f"the bundled scenarios {bundled_scenario_names()}"
+        )
+    raise TypeError(
+        f"cannot interpret {type(source).__name__} as a scenario; pass a "
+        "Scenario, a dict, a .toml path, or a bundled scenario name"
+    )
+
+
+class Session:
+    """Execute scenarios on one configured engine.
+
+    Parameters
+    ----------
+    engine:
+        ``"reference"``, ``"fastsim"``, ``"pipeline"``, or ``"serving"``.
+    workers, cache_dir:
+        Pipeline-engine execution knobs (ignored by other engines).
+    engine_options:
+        Extra keyword options forwarded to the engine (e.g. the serving
+        engine's ``requests`` / ``time_scale`` / ``concurrency``).
+    """
+
+    def __init__(
+        self,
+        engine: str = "reference",
+        *,
+        workers: int | None = None,
+        cache_dir=None,
+        engine_options: Mapping | None = None,
+    ):
+        if engine not in ENGINES:
+            raise KeyError(
+                f"unknown engine {engine!r}; available: {engine_names()}"
+            )
+        self.engine = engine
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.engine_options = dict(engine_options or {})
+
+    def _options(self) -> dict:
+        options = dict(self.engine_options)
+        if self.engine == "pipeline":
+            options.setdefault("workers", self.workers)
+            options.setdefault("cache_dir", self.cache_dir)
+        return options
+
+    def run(self, scenario, *, seeds=None) -> ScenarioReport:
+        """Execute ``scenario``; ``seeds`` overrides its scale's seeds."""
+        scenario = coerce_scenario(scenario).check()
+        run_seeds = tuple(
+            int(s) for s in (seeds if seeds is not None else scenario.scale.seeds)
+        )
+        if not run_seeds:
+            raise ValueError("need at least one evaluation seed")
+        out = ENGINES[self.engine](scenario, run_seeds, **self._options())
+        runs, extra_meta = out if isinstance(out, tuple) else (out, {})
+        return ScenarioReport(
+            scenario=scenario,
+            engine=self.engine,
+            seeds=run_seeds,
+            runs=_tag(list(runs), scenario, self.engine),
+            meta={"engine_options": self._options(), **extra_meta},
+        )
+
+
+def run_scenario(
+    scenario, engine: str = "reference", *, seeds=None, **session_kwargs
+) -> ScenarioReport:
+    """One-call convenience: ``Session(engine, **kw).run(scenario)``."""
+    return Session(engine, **session_kwargs).run(scenario, seeds=seeds)

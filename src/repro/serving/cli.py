@@ -1,12 +1,16 @@
-"""``repro-serve``: run the live hedging runtime from the command line.
+"""``repro-serve``: deprecated alias for ``repro serve``.
+
+The hedging-runtime CLI machinery lives here (the unified ``repro`` CLI
+mounts it as its ``serve`` subcommand); only the ``repro-serve`` entry
+point itself is deprecated.
 
 Examples
 --------
 ::
 
-    repro-serve --backend drifting --policy auto --requests 4000
-    repro-serve --backend search --policy singler --delay 60 --prob 0.4
-    repro-serve --backend synthetic --policy none --requests 2000 \
+    repro serve --backend drifting --policy auto --requests 4000
+    repro serve --backend search --policy singler --delay 60 --prob 0.4
+    repro serve --backend synthetic --policy none --requests 2000 \
         --time-scale 1e-4 --report-every 500
 """
 
@@ -16,6 +20,7 @@ import argparse
 import asyncio
 import signal
 import sys
+import warnings
 
 import numpy as np
 
@@ -90,15 +95,15 @@ async def serve_stream(client: HedgedClient, args) -> None:
         print(snap.render())
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-serve",
-        description=(
-            "Serve a live request stream through a reissue policy "
-            "(hedging runtime for 'Optimal Reissue Policies for Reducing "
-            "Tail Latency', SPAA 2017)."
-        ),
-    )
+SERVE_DESCRIPTION = (
+    "Serve a live request stream through a reissue policy "
+    "(hedging runtime for 'Optimal Reissue Policies for Reducing "
+    "Tail Latency', SPAA 2017)."
+)
+
+
+def configure_serve_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the serve arguments (shared by old and new CLIs)."""
     parser.add_argument("--backend", choices=BACKENDS, default="drifting")
     parser.add_argument("--policy", choices=POLICIES, default="auto")
     parser.add_argument("--requests", type=int, default=4_000)
@@ -142,14 +147,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--lognormal-sigma", type=float, default=0.8, help="synthetic backends"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=f"[deprecated: use 'repro serve'] {SERVE_DESCRIPTION}",
+    )
+    configure_serve_parser(parser)
     return parser
 
 
-def main(argv=None) -> int:
-    if hasattr(signal, "SIGPIPE"):
-        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
-    args = build_parser().parse_args(argv)
-
+def run_serve_command(args) -> int:
+    """Execute a parsed serve command (shared by old and new CLIs)."""
     if args.requests < 1:
         print("--requests must be >= 1", file=sys.stderr)
         return 2
@@ -198,6 +208,19 @@ def main(argv=None) -> int:
         )
     print(f"  peak concurrency     {client.peak_in_flight:>10d}")
     return 0
+
+
+def main(argv=None) -> int:
+    """The deprecated ``repro-serve`` entry point."""
+    warnings.warn(
+        "the 'repro-serve' entry point is deprecated; use 'repro serve' "
+        "(see 'repro --help')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    return run_serve_command(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

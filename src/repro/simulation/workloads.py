@@ -160,19 +160,23 @@ class QueueingSystem:
 PAPER_PARETO = dict(shape=1.1, mode=2.0)
 
 
-def independent_workload(n_queries: int = 50_000) -> InfiniteServerSystem:
+def independent_workload(
+    n_queries: int = 50_000, base: Distribution | None = None
+) -> InfiniteServerSystem:
     """§5.1 Independent workload: Pareto(1.1, 2), i.i.d. reissues."""
     return InfiniteServerSystem(
-        ServiceModel(Pareto(**PAPER_PARETO), correlation=0.0), n_queries
+        ServiceModel(base or Pareto(**PAPER_PARETO), correlation=0.0), n_queries
     )
 
 
 def correlated_workload(
-    n_queries: int = 50_000, ratio: float = 0.5
+    n_queries: int = 50_000,
+    ratio: float = 0.5,
+    base: Distribution | None = None,
 ) -> InfiniteServerSystem:
     """§5.1 Correlated workload: ``Y = r x + Z`` with r=0.5 by default."""
     return InfiniteServerSystem(
-        ServiceModel(Pareto(**PAPER_PARETO), correlation=ratio), n_queries
+        ServiceModel(base or Pareto(**PAPER_PARETO), correlation=ratio), n_queries
     )
 
 

@@ -1,0 +1,290 @@
+"""Engine equivalence and the RunResult-based report.
+
+The acceptance contract: the same Scenario object runs under all four
+engines; ``reference`` and ``fastsim`` agree bit-for-bit per seed for
+**every registered system** (the test parametrizes over the registry, so
+registering a new system without adding an equivalence scenario fails
+here); the ``pipeline`` engine reproduces ``fastsim`` exactly (including
+through a cache replay); the ``serving`` engine returns the same report
+shape from a live asyncio run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import RunResult
+from repro.core.policies import SingleD, SingleR
+from repro.scenarios import SYSTEMS, Session, bundled_scenario, scenario
+
+# Small but non-trivial per-system scenarios for the equivalence matrix.
+EQUIVALENCE_SCENARIOS = {
+    "independent": scenario(
+        "eq-independent",
+        system="independent",
+        policy=SingleR(4.0, 0.5),
+        percentile=0.99,
+        n_queries=2_000,
+        seeds=(101, 103),
+    ),
+    "correlated": scenario(
+        "eq-correlated",
+        system="correlated",
+        policy=SingleR(4.0, 0.5),
+        workload={"correlation": 0.7},
+        percentile=0.99,
+        n_queries=2_000,
+        seeds=(101, 103),
+    ),
+    "queueing": scenario(
+        "eq-queueing",
+        system="queueing",
+        utilization=0.3,
+        policy=SingleR(6.0, 0.5),
+        percentile=0.95,
+        n_queries=1_200,
+        seeds=(101, 103),
+    ),
+    "redis": scenario(
+        "eq-redis",
+        system="redis",
+        utilization=0.3,
+        policy=SingleR(25.0, 0.5),
+        percentile=0.99,
+        n_queries=1_000,
+        seeds=(101,),
+    ),
+    "lucene": scenario(
+        "eq-lucene",
+        system="lucene",
+        utilization=0.3,
+        policy=SingleD(120.0),
+        percentile=0.99,
+        n_queries=1_000,
+        seeds=(101,),
+    ),
+}
+
+
+def assert_runs_equal(a: RunResult, b: RunResult):
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    np.testing.assert_array_equal(
+        a.primary_response_times, b.primary_response_times
+    )
+    np.testing.assert_array_equal(a.reissue_pair_x, b.reissue_pair_x)
+    np.testing.assert_array_equal(a.reissue_pair_y, b.reissue_pair_y)
+    assert a.reissue_rate == b.reissue_rate
+    assert a.utilization == b.utilization
+
+
+def test_equivalence_matrix_covers_every_registered_system():
+    assert set(EQUIVALENCE_SCENARIOS) == set(SYSTEMS.names()), (
+        "a system was (un)registered; update EQUIVALENCE_SCENARIOS so the "
+        "reference-vs-fastsim contract keeps covering every system"
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(EQUIVALENCE_SCENARIOS))
+def test_reference_and_fastsim_agree_bit_for_bit(kind):
+    sc = EQUIVALENCE_SCENARIOS[kind]
+    ref = Session("reference").run(sc)
+    fast = Session("fastsim").run(sc)
+    assert ref.seeds == fast.seeds == sc.scale.seeds
+    assert len(ref.runs) == len(fast.runs) == len(sc.scale.seeds)
+    for a, b in zip(ref.runs, fast.runs):
+        assert_runs_equal(a, b)
+    assert ref.median_tail == fast.median_tail
+
+
+class TestPipelineEngine:
+    def test_matches_fastsim_and_replays_from_cache(self, tmp_path):
+        sc = EQUIVALENCE_SCENARIOS["queueing"]
+        fast = Session("fastsim").run(sc)
+        cache = tmp_path / "cache"
+        cold = Session("pipeline", cache_dir=cache).run(sc)
+        for a, b in zip(fast.runs, cold.runs):
+            assert_runs_equal(a, b)
+        assert cold.meta["pipeline"]["cache_misses"] == len(sc.scale.seeds)
+
+        warm = Session("pipeline", cache_dir=cache).run(sc)
+        for a, b in zip(fast.runs, warm.runs):
+            assert_runs_equal(a, b)
+        assert warm.meta["pipeline"]["cache_hits"] == len(sc.scale.seeds)
+        assert warm.meta["pipeline"]["jobs"] == 0
+
+    def test_parallel_matches_serial(self):
+        sc = EQUIVALENCE_SCENARIOS["independent"]
+        serial = Session("pipeline").run(sc)
+        parallel = Session("pipeline", workers=2).run(sc)
+        for a, b in zip(serial.runs, parallel.runs):
+            assert_runs_equal(a, b)
+
+
+class TestServingEngine:
+    def test_bundled_scenario_serves_live(self):
+        report = Session(
+            "serving",
+            engine_options={"requests": 120, "time_scale": 1e-6},
+        ).run(bundled_scenario("queueing-tail-quick"), seeds=(3,))
+        (run,) = report.runs
+        assert run.n_queries == 120
+        assert run.latencies.min() >= 0.0
+        assert 0.0 <= run.reissue_rate <= len(run.latencies)
+        assert np.isfinite(report.median_tail)
+        assert run.meta["engine"] == "serving"
+        assert run.meta["scenario"] == "queueing-tail-quick"
+
+    def test_system_backends_resolve(self):
+        # redis/lucene scenarios bridge to their workload backends.
+        for kind, backend in (("redis", "RedisBackend"), ("lucene", "SearchBackend")):
+            sc = EQUIVALENCE_SCENARIOS[kind]
+            report = Session(
+                "serving",
+                engine_options={"requests": 40, "time_scale": 0.0},
+            ).run(sc, seeds=(5,))
+            assert report.runs[0].meta["backend"] == backend
+
+    def test_engine_rejects_unknown_options(self):
+        with pytest.raises(TypeError, match="serving"):
+            Session(
+                "serving", engine_options={"warp_factor": 9}
+            ).run(EQUIVALENCE_SCENARIOS["independent"], seeds=(1,))
+
+
+class TestAllEnginesOneScenario:
+    """The headline acceptance: one bundled Scenario object, four engines."""
+
+    def test_same_scenario_runs_everywhere(self):
+        sc = bundled_scenario("queueing-tail-quick").with_scale(
+            n_queries=600, seeds=(101,)
+        )
+        reports = {
+            engine: Session(
+                engine,
+                engine_options=(
+                    {"requests": 60, "time_scale": 1e-6}
+                    if engine == "serving"
+                    else {}
+                ),
+            ).run(sc)
+            for engine in ("reference", "fastsim", "pipeline", "serving")
+        }
+        # Simulator engines: identical bits.
+        assert_runs_equal(
+            reports["reference"].runs[0], reports["fastsim"].runs[0]
+        )
+        assert_runs_equal(
+            reports["reference"].runs[0], reports["pipeline"].runs[0]
+        )
+        # Every engine: the same report shape with the same summary keys.
+        summaries = [r.summary() for r in reports.values()]
+        assert all(s.keys() == summaries[0].keys() for s in summaries)
+        for report in reports.values():
+            assert report.scenario is sc or report.scenario == sc
+            text = report.render()
+            assert "queueing-tail-quick" in text
+            assert "P95" in text
+
+
+class TestReport:
+    def test_summary_and_sla(self):
+        sc = EQUIVALENCE_SCENARIOS["queueing"]
+        report = Session("fastsim").run(sc)
+        s = report.summary()
+        assert s["scenario"] == "eq-queueing"
+        assert s["engine"] == "fastsim"
+        assert s["median_tail_ms"] == report.median_tail
+        # SLA verdict appears only when the objective declares one.
+        assert "sla_met" not in s
+        with_sla = Session("fastsim").run(
+            scenario(
+                "sla",
+                system="independent",
+                policy="none",
+                percentile=0.5,
+                sla_ms=1e9,
+                n_queries=500,
+                seeds=(1,),
+            )
+        )
+        assert with_sla.sla_met is True
+        assert with_sla.summary()["sla_met"] is True
+
+    def test_within_budget_uses_documented_tolerance(self):
+        from repro.scenarios.engines import ScenarioReport
+
+        sc = scenario(
+            "budgeted",
+            system="independent",
+            policy=SingleR(0.0, 0.5),  # measured rate ≈ 0.5
+            budget=0.4,
+            n_queries=500,
+            seeds=(1,),
+        )
+        report = Session("fastsim").run(sc)
+        assert 0.45 < report.median_reissue_rate < 0.55
+        # 0.5 ≤ 1.5 × 0.4: within tolerance, and the summary says which
+        # tolerance produced the verdict.
+        assert report.within_budget is True
+        s = report.summary()
+        assert s["within_budget"] is True
+        assert s["budget_tolerance"] == ScenarioReport.BUDGET_TOLERANCE == 1.5
+        over = Session("fastsim").run(
+            scenario(
+                "over-budget",
+                system="independent",
+                policy=SingleR(0.0, 0.5),
+                budget=0.2,  # 0.5 > 1.5 × 0.2
+                n_queries=500,
+                seeds=(1,),
+            )
+        )
+        assert over.within_budget is False
+        assert over.summary()["within_budget"] is False
+        no_budget = Session("fastsim").run(
+            scenario(
+                "no-budget", system="independent", policy="none",
+                n_queries=500, seeds=(1,),
+            )
+        )
+        assert no_budget.within_budget is None
+        assert "within_budget" not in no_budget.summary()
+
+    def test_seed_override(self):
+        sc = EQUIVALENCE_SCENARIOS["independent"]
+        report = Session("fastsim").run(sc, seeds=(7,))
+        assert report.seeds == (7,)
+        assert len(report.runs) == 1
+
+
+class TestEmptyTailError:
+    """Satellite: RunResult.tail names the run instead of numpy's error."""
+
+    def make_empty(self, meta):
+        empty = np.empty(0)
+        return RunResult(
+            latencies=empty,
+            primary_response_times=empty,
+            reissue_pair_x=empty,
+            reissue_pair_y=empty,
+            reissue_rate=0.0,
+            meta=meta,
+        )
+
+    def test_names_scenario(self):
+        run = self.make_empty({"scenario": "my-scenario"})
+        with pytest.raises(ValueError, match="my-scenario"):
+            run.tail(0.99)
+
+    def test_names_system_when_no_scenario(self):
+        run = self.make_empty({"system": "redis-set-intersection"})
+        with pytest.raises(ValueError, match="redis-set-intersection"):
+            run.tail(0.99)
+
+    def test_generic_label_without_meta(self):
+        with pytest.raises(ValueError, match="no query latencies"):
+            self.make_empty({}).tail(0.5)
+
+    def test_nonempty_still_works(self):
+        run = self.make_empty({})
+        run.latencies = np.array([1.0, 2.0, 3.0])
+        assert run.tail(0.5) == 2.0

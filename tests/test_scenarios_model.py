@@ -1,0 +1,381 @@
+"""Scenario object model: round-trips, validation, registries.
+
+The serialization contract under test: dict → Scenario → TOML → Scenario
+yields identical objects and identical content fingerprints, for every
+bundled scenario and for hand-built ones covering each policy family and
+the workload-override path.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    POLICY_KINDS,
+    DoubleR,
+    ImmediateReissue,
+    MultipleR,
+    NoReissue,
+    ReissuePolicy,
+    SingleD,
+    SingleR,
+)
+from repro.scenarios import (
+    DISTRIBUTIONS,
+    POLICIES,
+    SYSTEMS,
+    Scenario,
+    bundled_scenario,
+    bundled_scenario_names,
+    bundled_scenarios,
+    dumps,
+    loads,
+    make_distribution,
+    make_policy,
+    scenario,
+    system_spec_ref,
+)
+
+ALL_POLICIES = [
+    NoReissue(),
+    ImmediateReissue(2),
+    SingleD(30.0),
+    SingleR(6.0, 0.5),
+    DoubleR(2.0, 0.3, 9.0, 0.7),
+    MultipleR([(1.0, 0.2), (5.0, 0.9)]),
+    ReissuePolicy([(0.5, 0.1)]),
+]
+
+
+def handcrafted_scenarios():
+    out = [
+        scenario(
+            f"rt-{type(pol).__name__.lower()}",
+            system="queueing",
+            utilization=0.3,
+            policy=pol,
+            percentile=0.95,
+            budget=0.25,
+            n_queries=1_000,
+            seeds=(101, 103),
+        )
+        for pol in ALL_POLICIES
+    ]
+    out.append(
+        scenario(
+            "rt-workload-override",
+            system="correlated",
+            policy=SingleD(75.0),
+            workload={
+                "service": {"kind": "lognormal", "mu": 3.0, "sigma": 0.8},
+                "correlation": 0.5,
+            },
+            sla_ms=250.0,
+            n_queries=1_000,
+        )
+    )
+    return out
+
+
+def all_round_trip_scenarios():
+    return bundled_scenarios() + handcrafted_scenarios()
+
+
+@pytest.mark.parametrize(
+    "sc", all_round_trip_scenarios(), ids=lambda s: s.name
+)
+class TestRoundTrip:
+    def test_dict_round_trip(self, sc):
+        again = Scenario.from_dict(sc.to_dict())
+        assert again == sc
+        assert again.fingerprint() == sc.fingerprint()
+
+    def test_toml_round_trip(self, sc):
+        again = loads(dumps(sc))
+        assert again == sc
+        assert again.fingerprint() == sc.fingerprint()
+
+    def test_double_toml_round_trip_is_stable(self, sc):
+        text = dumps(sc)
+        assert dumps(loads(text)) == text
+
+    def test_validates(self, sc):
+        assert sc.validate() == []
+
+    def test_policy_reconstructs(self, sc):
+        policy = sc.build_policy()
+        again = Scenario.from_dict(sc.to_dict()).build_policy()
+        assert again == policy
+        assert hash(again) == hash(policy)
+        assert type(again) is type(policy)
+
+
+class TestTomlStringEscaping:
+    @pytest.mark.parametrize(
+        "description",
+        [
+            "line1\nline2",
+            "tab\there and a return\r",
+            'quotes "and" back\\slashes',
+            "control \x01 char",
+        ],
+        ids=["newline", "tab-cr", "quotes-backslash", "control"],
+    )
+    def test_special_characters_round_trip(self, description):
+        sc = scenario(
+            "escapes",
+            system="independent",
+            policy="none",
+            description=description,
+            n_queries=100,
+        )
+        again = loads(dumps(sc))
+        assert again.description == description
+        assert again == sc
+
+
+class TestFingerprintCanonicalization:
+    def test_int_and_float_spellings_share_a_fingerprint(self):
+        int_toml = loads(
+            'name = "fp"\n[system]\nkind = "queueing"\n'
+            "[policy]\nkind = \"single-r\"\ndelay = 6\nprob = 1\n"
+            "[scale]\nn_queries = 1000\nseeds = [101]\n"
+        )
+        float_toml = loads(
+            'name = "fp"\n[system]\nkind = "queueing"\n'
+            "[policy]\nkind = \"single-r\"\ndelay = 6.0\nprob = 1.0\n"
+            "[scale]\nn_queries = 1000\nseeds = [101]\n"
+        )
+        assert int_toml.fingerprint() == float_toml.fingerprint()
+
+    def test_python_policy_matches_int_valued_toml(self):
+        from_python = scenario(
+            "fp", system="queueing", policy=SingleR(6, 1),
+            n_queries=1000, seeds=(101,),
+        )
+        from_toml = loads(
+            'name = "fp"\n[system]\nkind = "queueing"\n'
+            "[policy]\nkind = \"single-r\"\ndelay = 6\nprob = 1\n"
+            "[objective]\npercentile = 0.99\n"
+            "[scale]\nn_queries = 1000\nseeds = [101]\n"
+        )
+        assert from_python.fingerprint() == from_toml.fingerprint()
+
+    def test_different_values_still_differ(self):
+        a = scenario("fp", system="queueing", policy=SingleR(6.0, 1.0))
+        b = scenario("fp", system="queueing", policy=SingleR(7.0, 1.0))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestBundled:
+    def test_at_least_four_bundled_scenarios(self):
+        assert len(bundled_scenario_names()) >= 4
+
+    def test_bundled_by_name(self):
+        sc = bundled_scenario("queueing-tail-quick")
+        assert sc.system.kind == "queueing"
+        assert sc.scale.seeds == (101, 103)
+
+    def test_unknown_bundled_name(self):
+        with pytest.raises(KeyError, match="available"):
+            bundled_scenario("no-such-scenario")
+
+
+class TestValidation:
+    def test_unknown_system(self):
+        sc = scenario("bad", system="mainframe", policy="none")
+        assert any("mainframe" in p for p in sc.validate())
+        with pytest.raises(ValueError, match="mainframe"):
+            sc.check()
+
+    def test_unknown_policy_kind(self):
+        sc = scenario("bad", system="queueing", policy="quadruple-r")
+        assert any("quadruple-r" in p for p in sc.validate())
+
+    def test_unknown_system_param(self):
+        sc = scenario("bad", system="queueing", policy="none", fanout=3)
+        assert any("fanout" in p for p in sc.validate())
+
+    def test_workload_override_rejected_for_intrinsic_workload(self):
+        sc = scenario(
+            "bad",
+            system="redis",
+            policy="none",
+            workload={"service": {"kind": "pareto"}},
+        )
+        assert any("intrinsic" in p for p in sc.validate())
+
+    def test_correlation_rejected_where_unsupported(self):
+        sc = scenario(
+            "bad",
+            system="independent",
+            policy="none",
+            workload={"correlation": 0.5},
+        )
+        assert any("correlation" in p for p in sc.validate())
+
+    def test_bad_percentile(self):
+        sc = scenario("bad", system="queueing", policy="none", percentile=1.5)
+        assert any("percentile" in p for p in sc.validate())
+
+    def test_empty_seeds(self):
+        sc = scenario("bad", system="queueing", policy="none", seeds=())
+        assert any("seed" in p for p in sc.validate())
+
+    def test_unknown_toplevel_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown top-level"):
+            Scenario.from_dict(
+                {
+                    "name": "x",
+                    "system": {"kind": "queueing"},
+                    "policy": {"kind": "none"},
+                    "surprise": 1,
+                }
+            )
+
+    def test_nested_table_in_system_params_rejected_at_parse_time(self):
+        # A distribution table under [system] (instead of
+        # [workload.service]) must fail loudly when the spec is built,
+        # not crash deep inside the factory at run time.
+        with pytest.raises(ValueError, match=r"workload.service"):
+            Scenario.from_dict(
+                {
+                    "name": "x",
+                    "system": {"kind": "queueing", "base": {"kind": "pareto"}},
+                    "policy": {"kind": "none"},
+                }
+            )
+
+    def test_nested_dict_in_policy_params_rejected(self):
+        with pytest.raises(ValueError, match=r"\[policy\]"):
+            Scenario.from_dict(
+                {
+                    "name": "x",
+                    "system": {"kind": "queueing"},
+                    "policy": {"kind": "single-r", "delay": {"ms": 6}},
+                }
+            )
+
+    def test_unknown_scale_field_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            Scenario.from_dict(
+                {
+                    "name": "x",
+                    "system": {"kind": "queueing"},
+                    "policy": {"kind": "none"},
+                    "scale": {"n_query": 10},
+                }
+            )
+
+
+class TestPolicySpecRoundTrip:
+    """Satellite: to_spec()/from_spec() across every ReissuePolicy family."""
+
+    @pytest.mark.parametrize(
+        "policy", ALL_POLICIES, ids=lambda p: type(p).__name__
+    )
+    def test_round_trip_preserves_type_eq_hash(self, policy):
+        spec = policy.to_spec()
+        again = ReissuePolicy.from_spec(spec)
+        assert type(again) is type(policy)
+        assert again == policy
+        assert hash(again) == hash(policy)
+        assert again.stages == policy.stages
+        assert again.to_spec() == spec
+
+    def test_spec_is_primitive(self):
+        spec = MultipleR([(1.0, 0.2), (5.0, 0.9)]).to_spec()
+
+        def primitive(v):
+            if isinstance(v, (str, int, float, bool)) or v is None:
+                return True
+            if isinstance(v, (list, tuple)):
+                return all(primitive(x) for x in v)
+            if isinstance(v, dict):
+                return all(primitive(x) for x in v.values())
+            return False
+
+        assert primitive(spec)
+
+    def test_every_kind_registered(self):
+        assert set(POLICY_KINDS) == set(POLICIES.names())
+
+    def test_missing_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ReissuePolicy.from_spec({"delay": 3.0})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="septuple"):
+            ReissuePolicy.from_spec({"kind": "septuple-r"})
+
+    def test_bad_params_name_the_kind(self):
+        with pytest.raises(ValueError, match="single-r"):
+            ReissuePolicy.from_spec({"kind": "single-r", "wait": 3.0})
+
+    def test_eq_across_construction_routes(self):
+        # The (d, q=1) corner of SingleR is the same stage list as a
+        # SingleD — cross-family equality follows stage identity.
+        assert SingleR(30.0, 1.0) == SingleD(30.0)
+        assert hash(SingleR(30.0, 1.0)) == hash(SingleD(30.0))
+
+
+class TestRegistries:
+    def test_make_policy_matches_direct_construction(self):
+        assert make_policy("single-r", delay=6.0, prob=0.5) == SingleR(6.0, 0.5)
+        assert make_policy("none") == NoReissue()
+
+    def test_make_policy_unknown_kind(self):
+        with pytest.raises(KeyError, match="registered"):
+            make_policy("telepathic")
+
+    def test_third_party_policy_registration_is_constructible(self):
+        # The advertised extension path: POLICIES.register alone must be
+        # enough for make_policy and scenario specs to build the kind.
+        class FixedPair(ReissuePolicy):
+            def __init__(self, delay: float = 1.0):
+                super().__init__([(float(delay), 0.5), (2 * float(delay), 0.5)])
+
+        POLICIES.register("fixed-pair", FixedPair, summary="test-only")
+        try:
+            built = make_policy("fixed-pair", delay=3.0)
+            assert isinstance(built, FixedPair)
+            assert built.stages == ((3.0, 0.5), (6.0, 0.5))
+            sc = scenario(
+                "third-party",
+                system="independent",
+                policy={"kind": "fixed-pair", "delay": 3.0},
+                n_queries=100,
+            )
+            assert sc.validate() == []
+            assert sc.build_policy() == built
+        finally:
+            POLICIES._entries.pop("fixed-pair")
+
+    def test_make_distribution(self):
+        dist = make_distribution("pareto", shape=1.1, mode=2.0)
+        assert dist.shape == 1.1
+
+    def test_distribution_bad_param_names_entry(self):
+        with pytest.raises(ValueError, match="pareto"):
+            DISTRIBUTIONS.build("pareto", slope=2.0)
+
+    def test_system_spec_ref_identical_to_direct_ref(self):
+        from repro.pipeline.fingerprint import fingerprint
+        from repro.pipeline.spec import system_ref
+        from repro.simulation.workloads import queueing_workload
+
+        via_registry = system_spec_ref(
+            "queueing", n_queries=1000, utilization=0.3
+        )
+        direct = system_ref(queueing_workload, n_queries=1000, utilization=0.3)
+        assert fingerprint(via_registry) == fingerprint(direct)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            SYSTEMS.register("queueing", lambda: None)
+
+    def test_registry_lists_builtins(self):
+        assert {"independent", "correlated", "queueing", "redis", "lucene"} <= set(
+            SYSTEMS.names()
+        )
+        assert {"pareto", "lognormal", "exponential"} <= set(
+            DISTRIBUTIONS.names()
+        )
