@@ -1,0 +1,143 @@
+"""Frozen pre-`repro.optimize` fitting paths, for the optimize bench.
+
+Two snapshots, verbatim from the code as it stood before the solver
+layer landed (PR 5), so `bench_optimize.py` always compares against the
+historical behaviour even if the live modules evolve:
+
+* ``compute_optimal_singler_scalar`` — the Figure-1 sweep with the
+  scalar two-pointer loop and per-probe Python ``discrete_cdf`` calls
+  (``repro/core/optimizer.py``);
+* ``legacy_fit_singler`` — the serial §4.3 adaptive protocol
+  (``repro/experiments/common.py:fit_singler`` + the adaptive loop from
+  ``repro/core/adaptive.py``) with the scalar sweep as its inner refit
+  and one ``system.run`` per trial.
+"""
+
+import numpy as np
+
+from repro.core.correlated import compute_optimal_singler_correlated
+from repro.core.optimizer import SingleRFit
+from repro.core.policies import SingleR
+from repro.distributions.base import as_rng
+
+
+def discrete_cdf_scalar(sorted_samples, t):
+    n = sorted_samples.size
+    if n == 0:
+        raise ValueError("empty sample set")
+    return float(np.searchsorted(sorted_samples, t, side="left")) / n
+
+
+def singler_success_rate_scalar(rx_sorted, ry_sorted, budget, t, d):
+    p_x_le_t = discrete_cdf_scalar(rx_sorted, t)
+    p_x_gt_d = 1.0 - discrete_cdf_scalar(rx_sorted, d)
+    p_y = discrete_cdf_scalar(ry_sorted, t - d)
+    if p_x_gt_d <= 0.0:
+        return p_x_le_t
+    q = min(1.0, budget / p_x_gt_d)
+    return p_x_le_t + q * (1.0 - p_x_le_t) * p_y
+
+
+def compute_optimal_singler_scalar(rx, ry, percentile, budget):
+    """The frozen scalar Figure-1 sweep (pre-vectorization)."""
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    ry = np.sort(np.asarray(ry, dtype=np.float64))
+    if rx.size == 0 or ry.size == 0:
+        raise ValueError("rx and ry must be non-empty")
+
+    n = rx.size
+    i = 0
+    j = n - 1
+    d_star = rx[0]
+    t = rx[j]
+    i_max = max(int(np.ceil(n * (1.0 - budget))) - 1, 0)
+
+    while i <= min(j, i_max):
+        d = rx[i]
+        i += 1
+        while j > 0 and rx[j - 1] >= d:
+            t_next = rx[j - 1]
+            if singler_success_rate_scalar(rx, ry, budget, t_next, d) < percentile:
+                break
+            j -= 1
+            t = t_next
+            d_star = d
+
+    p_x_ge_d = 1.0 - discrete_cdf_scalar(rx, d_star)
+    q = 1.0 if p_x_ge_d <= budget else budget / p_x_ge_d
+    success = singler_success_rate_scalar(rx, ry, budget, t, d_star)
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    return SingleRFit(
+        delay=float(d_star),
+        prob=float(q),
+        predicted_tail=float(t),
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )
+
+
+def _legacy_fit_from_run(result, percentile, budget, use_correlation,
+                         min_pairs=50):
+    rx = result.primary_response_times
+    if use_correlation and result.reissue_pair_x.size >= min_pairs:
+        return compute_optimal_singler_correlated(
+            rx,
+            result.reissue_pair_x,
+            result.reissue_pair_y,
+            percentile,
+            budget,
+        )
+    ry = result.reissue_pair_y if result.reissue_pair_y.size else rx
+    return compute_optimal_singler_scalar(rx, ry, percentile, budget)
+
+
+def legacy_fit_singler(
+    system,
+    percentile,
+    budget,
+    trials,
+    learning_rate=0.5,
+    rng=None,
+    use_correlation=True,
+    tail_tolerance=0.05,
+    budget_tolerance=0.25,
+):
+    """The frozen serial fit protocol: scalar inner refits, one
+    ``system.run`` per trial, sequential corner probes."""
+    rng = as_rng(rng)
+    policy = SingleR(0.0, budget)
+    history = []
+    for trial in range(trials):
+        result = system.run(policy, rng)
+        fit = _legacy_fit_from_run(result, percentile, budget, use_correlation)
+        actual = result.tail(percentile)
+        history.append((policy, actual, result.reissue_rate))
+        tail_ok = (
+            actual > 0.0
+            and abs(fit.predicted_tail - actual) / actual <= tail_tolerance
+        )
+        budget_ok = abs(result.reissue_rate - budget) <= budget_tolerance * budget
+        if tail_ok and budget_ok and trial > 0:
+            break
+        d_new = policy.delay + learning_rate * (fit.delay - policy.delay)
+        rx_sorted = np.sort(result.primary_response_times)
+        surv = 1.0 - discrete_cdf_scalar(rx_sorted, d_new)
+        q_new = 1.0 if surv <= budget else budget / surv
+        policy = SingleR(float(d_new), float(q_new))
+
+    ok = [h for h in history if h[2] <= 1.5 * budget]
+    if not ok:
+        ok = history
+    best_policy, best_tail, _ = min(ok, key=lambda h: h[1])
+    rx = np.sort(system.run(best_policy, rng).primary_response_times)
+    idx = min(int(np.ceil(rx.size * (1.0 - budget))), rx.size - 1)
+    corner = SingleR(float(rx[idx]), 1.0)
+    corner_run = system.run(corner, rng)
+    if (
+        corner_run.reissue_rate <= 1.5 * budget
+        and corner_run.tail(percentile) < best_tail
+    ):
+        return corner
+    return best_policy

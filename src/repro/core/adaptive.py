@@ -18,7 +18,7 @@ import numpy as np
 from ..distributions.base import RngLike, as_rng
 from .correlated import compute_optimal_singler_correlated
 from .interfaces import RunResult, SystemUnderTest
-from .optimizer import SingleRFit, compute_optimal_singler, discrete_cdf, fit_singled_policy
+from .optimizer import SingleRFit, discrete_cdf, fit_singled_policy
 from .policies import ReissuePolicy, SingleD, SingleR
 
 
@@ -104,7 +104,17 @@ class AdaptiveSingleROptimizer:
         return SingleR(0.0, self.budget)
 
     def fit_from_run(self, result: RunResult) -> SingleRFit:
-        """Refit the locally optimal SingleR from one run's logs."""
+        """Refit the locally optimal SingleR from one run's logs.
+
+        The independence path runs the vectorized sweep from
+        :mod:`repro.optimize.vectorized` (bit-for-bit equal to
+        :func:`~repro.core.optimizer.compute_optimal_singler`, just not
+        a per-probe Python loop) — this is the inner loop of every
+        adaptive trial, so the whole fit protocol inherits the speedup.
+        """
+        # Lazy: repro.optimize imports this module for the fit protocol.
+        from ..optimize.vectorized import compute_optimal_singler_vectorized
+
         rx = result.primary_response_times
         pairs_ok = (
             self.use_correlation
@@ -119,16 +129,67 @@ class AdaptiveSingleROptimizer:
                 self.budget,
             )
         ry = result.reissue_pair_y if result.reissue_pair_y.size else rx
-        return compute_optimal_singler(rx, ry, self.percentile, self.budget)
+        return compute_optimal_singler_vectorized(
+            rx, ry, self.percentile, self.budget
+        )
 
-    def step(self, current: SingleR, result: RunResult) -> SingleR:
-        """One refinement step: d' = d + λ(d_local - d); q rebalanced to B."""
-        fit = self.fit_from_run(result)
+    def apply_step(
+        self, current, fit: SingleRFit, result: RunResult
+    ) -> tuple[float, float]:
+        """The §4.3 update rule: ``d' = d + λ(d_local - d)`` with ``q``
+        rebalanced to spend B against the observed survival.
+
+        The one implementation shared by :meth:`step`,
+        :meth:`optimize`, and the lockstep grid driver
+        (:func:`repro.optimize.fit_singler_grid`) — returns the
+        ``(delay, prob)`` pair so callers can build whichever policy
+        family they are adapting.
+        """
         d_new = current.delay + self.learning_rate * (fit.delay - current.delay)
         rx_sorted = np.sort(result.primary_response_times)
         surv = 1.0 - discrete_cdf(rx_sorted, d_new)
         q_new = 1.0 if surv <= self.budget else self.budget / surv
-        return SingleR(float(d_new), float(q_new))
+        return float(d_new), float(q_new)
+
+    def step(self, current: SingleR, result: RunResult) -> SingleR:
+        """One refinement step: d' = d + λ(d_local - d); q rebalanced to B."""
+        fit = self.fit_from_run(result)
+        return SingleR(*self.apply_step(current, fit, result))
+
+    def advance(
+        self,
+        policy,
+        result: RunResult,
+        trial: int,
+        out: "AdaptiveResult",
+        make=SingleR,
+    ) -> tuple:
+        """Fold one measured run into an adaptive chain.
+
+        The single trial body shared by :meth:`optimize` and the
+        lockstep grid driver (:func:`repro.optimize.fit_singler_grid`):
+        refit from the run, record the :class:`AdaptiveTrial` on
+        ``out``, check convergence, and either finish the chain
+        (returns ``(policy, True)`` with ``out`` finalized) or step to
+        the next policy (returns ``(next_policy, False)``).
+        """
+        fit = self.fit_from_run(result)
+        actual = result.tail(self.percentile)
+        out.trials.append(
+            AdaptiveTrial(
+                trial=trial,
+                policy=policy,
+                predicted_tail=fit.predicted_tail,
+                actual_tail=actual,
+                reissue_rate=result.reissue_rate,
+                utilization=result.utilization,
+            )
+        )
+        if self._converged(fit.predicted_tail, actual, result) and trial > 0:
+            out.converged = True
+            out.policy = policy
+            return policy, True
+        return make(*self.apply_step(policy, fit, result)), False
 
     def optimize(
         self,
@@ -154,28 +215,9 @@ class AdaptiveSingleROptimizer:
         out = AdaptiveResult(policy=policy)
         for trial in range(trials):
             result = system.run(policy, rng)
-            fit = self.fit_from_run(result)
-            actual = result.tail(self.percentile)
-            out.trials.append(
-                AdaptiveTrial(
-                    trial=trial,
-                    policy=policy,
-                    predicted_tail=fit.predicted_tail,
-                    actual_tail=actual,
-                    reissue_rate=result.reissue_rate,
-                    utilization=result.utilization,
-                )
-            )
-            converged = self._converged(fit.predicted_tail, actual, result)
-            if converged and trial > 0:
-                out.converged = True
-                out.policy = policy
+            policy, done = self.advance(policy, result, trial, out, make)
+            if done:
                 return out
-            d_new = policy.delay + self.learning_rate * (fit.delay - policy.delay)
-            rx_sorted = np.sort(result.primary_response_times)
-            surv = 1.0 - discrete_cdf(rx_sorted, d_new)
-            q_new = 1.0 if surv <= self.budget else self.budget / surv
-            policy = make(float(d_new), float(q_new))
         out.policy = policy
         return out
 

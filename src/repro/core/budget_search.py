@@ -28,6 +28,9 @@ class BudgetSearchResult:
     best_budget: float
     best_latency: float
     trials: List[BudgetTrial] = field(default_factory=list)
+    #: Number of ``evaluate`` calls actually made (< len(trials) when
+    #: step reversals revisited an already-evaluated budget).
+    evaluations: int = 0
 
     @property
     def budgets(self):
@@ -38,6 +41,35 @@ class BudgetSearchResult:
         return [t.latency for t in self.trials]
 
 
+class _DedupedEvaluate:
+    """Memoize ``evaluate`` on the exact candidate budget.
+
+    The expanding/halving step searches can revisit a budget after a
+    step reversal (grow, reject, halve back onto an earlier probe).
+    Probes are expensive — a full fit-then-measure protocol — and the
+    probe contract is deterministic per budget (fits draw from a fresh
+    seed-derived stream), so an identical candidate never needs a second
+    evaluation. The trial trace still records every probe, cached or
+    not, so search traces (and the fig8 goldens) are unchanged.
+    """
+
+    def __init__(self, evaluate: Callable[[float], float], enabled: bool):
+        self._evaluate = evaluate
+        self._enabled = enabled
+        self._cache: dict[float, float] = {}
+        self.calls = 0
+
+    def __call__(self, budget: float) -> float:
+        budget = float(budget)
+        if not self._enabled:
+            self.calls += 1
+            return float(self._evaluate(budget))
+        if budget not in self._cache:
+            self.calls += 1
+            self._cache[budget] = float(self._evaluate(budget))
+        return self._cache[budget]
+
+
 def find_optimal_budget(
     evaluate: Callable[[float], float],
     initial_step: float = 0.01,
@@ -45,6 +77,7 @@ def find_optimal_budget(
     min_step: float = 1e-3,
     max_budget: float = 1.0,
     baseline_latency: float | None = None,
+    dedupe: bool = True,
 ) -> BudgetSearchResult:
     """Paper §4.4 binary-search procedure for the tail-minimizing budget.
 
@@ -58,12 +91,19 @@ def find_optimal_budget(
         δ — the paper uses 1%.
     baseline_latency:
         Latency at budget 0; evaluated via ``evaluate(0.0)`` if omitted.
+    dedupe:
+        Cache ``evaluate`` per exact candidate budget so step reversals
+        never re-run an identical evaluation (the trial trace is
+        unaffected — revisits are recorded with the cached latency).
+        Disable for evaluators that are deliberately non-deterministic
+        across calls at the same budget.
 
     Steps: probe ``best + δ``; on improvement set ``best`` and ``δ = 1.5δ``,
     else ``δ = -δ/2``; stop when |δ| underflows or trials are exhausted.
     """
     if initial_step <= 0.0:
         raise ValueError("initial_step must be positive")
+    evaluate = _DedupedEvaluate(evaluate, dedupe)
     best_budget = 0.0
     best_latency = (
         float(baseline_latency)
@@ -91,6 +131,7 @@ def find_optimal_budget(
             step = -step / 2.0
     result.best_budget = best_budget
     result.best_latency = best_latency
+    result.evaluations = evaluate.calls
     return result
 
 
@@ -101,19 +142,23 @@ def min_budget_for_sla(
     max_trials: int = 20,
     min_step: float = 1e-3,
     max_budget: float = 1.0,
+    dedupe: bool = True,
 ) -> BudgetSearchResult:
     """Smallest budget meeting a latency SLA (§4.4 "minimal resources").
 
     Uses the paper's suggested transform ``f(L) = min(T, L)`` so that once
     the SLA is met, smaller budgets are preferred: we search on the pair
-    ``(latency clipped to T, budget)`` lexicographically.
+    ``(latency clipped to T, budget)`` lexicographically. ``dedupe`` as
+    in :func:`find_optimal_budget`.
     """
     if target_latency <= 0.0:
         raise ValueError("target_latency must be positive")
 
+    evaluate = _DedupedEvaluate(evaluate, dedupe)
     base = float(evaluate(0.0))
     result = BudgetSearchResult(best_budget=0.0, best_latency=base)
     result.trials.append(BudgetTrial(0, 0.0, base, accepted=True))
+    result.evaluations = evaluate.calls
     if base <= target_latency:
         return result  # SLA already met with zero redundancy.
 
@@ -152,4 +197,5 @@ def min_budget_for_sla(
             step = -step / 2.0
     result.best_budget = best_budget
     result.best_latency = best_latency
+    result.evaluations = evaluate.calls
     return result

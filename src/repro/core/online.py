@@ -31,8 +31,7 @@ import numpy as np
 from scipy import stats
 
 from ..distributions.base import RngLike
-from .correlated import compute_optimal_singler_correlated
-from .optimizer import SingleRFit, compute_optimal_singler, discrete_cdf
+from .optimizer import SingleRFit, discrete_cdf
 from .policies import SingleR
 
 
@@ -224,18 +223,35 @@ class OnlinePolicyController:
         return self.policy
 
     def _fit(self) -> SingleRFit:
-        rx = self.log.primary()
+        """One window refit through the ``online`` solver.
+
+        The solver applies the same rule this method used to inline:
+        correlated search when the window holds enough reissue pairs,
+        otherwise the (now vectorized) empirical sweep with ``ry``
+        falling back to ``rx`` when the pair log alone is too thin —
+        e.g. right after a drift truncation kept only the triggering
+        batch's probes. Routing through :mod:`repro.optimize` means live
+        serving refits and offline figure fits share one core.
+        """
+        # Lazy: repro.optimize pulls in the scenario registries.
+        from ..optimize import FitRequest, solve
+
         px, py = self.log.pairs()
-        if self.use_correlation and px.size >= self.min_pairs_for_correlation:
-            return compute_optimal_singler_correlated(
-                rx, px, py, self.percentile, self.budget
-            )
-        # Too few pairs to estimate the reissue distribution on its own
-        # (e.g. right after a drift truncation kept only the triggering
-        # batch's probes): fall back to ry = rx rather than fitting
-        # Pr(Y <= t - d) tails from a handful of draws.
-        ry = py if py.size >= self.min_pairs_for_correlation else rx
-        return compute_optimal_singler(rx, ry, self.percentile, self.budget)
+        result = solve(
+            FitRequest(
+                percentile=self.percentile,
+                budget=self.budget,
+                rx=self.log.primary(),
+                pair_x=px,
+                pair_y=py,
+                options={
+                    "use_correlation": self.use_correlation,
+                    "min_pairs": self.min_pairs_for_correlation,
+                },
+            ),
+            solver="online",
+        )
+        return result.fit
 
     def _refit(self, reason: str, damped: bool) -> None:
         if len(self.log) < 200:

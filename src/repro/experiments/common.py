@@ -18,7 +18,6 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core.adaptive import AdaptiveSingleROptimizer, adapt_singled
 from ..core.interfaces import RunResult, SystemUnderTest
 from ..core.policies import NoReissue, ReissuePolicy, SingleR
 from ..distributions.base import RngLike, as_rng
@@ -142,35 +141,22 @@ def fit_singler(
 ) -> SingleR:
     """Fit a SingleR policy with the paper's adaptive protocol (§4.3/§6.1).
 
-    Runs the adaptive loop, then returns the trial policy with the best
-    *measured* tail among trials whose measured reissue rate stayed within
-    50% of the budget — the adaptive trace is a sequence of well-defined
-    candidate policies, and under heavy-tailed feedback the last iterate
-    is not always the best one.
+    Thin scale-aware wrapper over
+    :func:`repro.optimize.fit_singler_protocol` — the one implementation
+    of the protocol (adaptive loop, best-measured-trial selection within
+    1.5x of the budget, SingleD-corner probe) now lives in the solver
+    layer; this keeps the drivers' ``Scale``-based signature.
     """
-    rng = as_rng(rng)
-    opt = AdaptiveSingleROptimizer(
-        percentile=percentile, budget=budget, learning_rate=learning_rate
+    from ..optimize import fit_singler_protocol
+
+    return fit_singler_protocol(
+        system,
+        percentile,
+        budget,
+        trials=scale.adaptive_trials,
+        learning_rate=learning_rate,
+        rng=as_rng(rng),
     )
-    result = opt.optimize(system, trials=scale.adaptive_trials, rng=rng)
-    ok = [t for t in result.trials if t.reissue_rate <= 1.5 * budget]
-    if not ok:
-        ok = list(result.trials)
-    best = min(ok, key=lambda t: t.actual_tail)
-    # SingleD is the (d', q=1) corner of the SingleR family; when the
-    # adaptive chain (which starts from d=0) hasn't reached that corner in
-    # the trial budget, probe it explicitly so the fitted SingleR never
-    # structurally loses to SingleD.
-    rx = np.sort(system.run(best.policy, rng).primary_response_times)
-    idx = min(int(np.ceil(rx.size * (1.0 - budget))), rx.size - 1)
-    corner = SingleR(float(rx[idx]), 1.0)
-    corner_run = system.run(corner, rng)
-    if (
-        corner_run.reissue_rate <= 1.5 * budget
-        and corner_run.tail(percentile) < best.actual_tail
-    ):
-        return corner
-    return best.policy
 
 
 def fit_singled(
@@ -180,7 +166,9 @@ def fit_singled(
     rng: RngLike = None,
 ) -> ReissuePolicy:
     """Fit the SingleD baseline with adaptive budget honouring (§5.1)."""
-    return adapt_singled(
+    from ..optimize import fit_singled_protocol
+
+    return fit_singled_protocol(
         system,
         percentile=0.99,
         budget=budget,

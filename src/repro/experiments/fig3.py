@@ -21,9 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.correlated import compute_optimal_singler_correlated
 from ..core.interfaces import remediation_rate
-from ..core.optimizer import compute_optimal_singler, fit_singled_policy
+from ..core.optimizer import fit_singled_policy
 from ..distributions.base import as_rng
 from ..pipeline import SpecBuilder, run_pipeline
 from ..pipeline.spec import SystemRef, system_ref
@@ -51,29 +50,33 @@ def make_workload(name: str, n_queries: int):
 def fit_policies_cell(
     name: str, system: SystemRef, budget: float, scale: Scale, seed: int
 ):
-    """(SingleR, SingleD) fitted per the workload's model (§4.1-§4.3)."""
+    """(SingleR, SingleD) fitted per the workload's model (§4.1-§4.3),
+    each through the matching :mod:`repro.optimize` solver."""
+    from ..optimize import FitRequest, correlated_probe_logs, solve
+
     system = system.build()
     rng = as_rng(seed)
     if name == "queueing":
         sr = fit_singler(system, PERCENTILE, budget, scale, rng=rng)
         sd = fit_singled(system, budget, scale, rng=rng)
         return sr, sd
-    base = system.run(make_policy("none"), rng)
-    rx = base.primary_response_times
     if name == "correlated":
         # Collect correlated (X, Y) pairs with an immediate probe policy,
         # then run the §4.2 conditional-CDF search.
-        probe = system.run(
-            make_policy(
-                "single-r", delay=0.0, prob=min(1.0, max(budget, 0.05))
+        rx, pair_x, pair_y = correlated_probe_logs(system, budget, rng)
+        fit = solve(
+            FitRequest(
+                percentile=PERCENTILE, budget=budget,
+                rx=rx, pair_x=pair_x, pair_y=pair_y,
             ),
-            rng,
-        )
-        fit = compute_optimal_singler_correlated(
-            rx, probe.reissue_pair_x, probe.reissue_pair_y, PERCENTILE, budget
+            solver="correlated",
         )
     else:
-        fit = compute_optimal_singler(rx, rx, PERCENTILE, budget)
+        rx = system.run(make_policy("none"), rng).primary_response_times
+        fit = solve(
+            FitRequest(percentile=PERCENTILE, budget=budget, rx=rx, ry=rx),
+            solver="empirical",
+        )
     return fit.policy, fit_singled_policy(rx, budget)
 
 

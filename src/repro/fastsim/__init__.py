@@ -25,6 +25,7 @@ policy × discipline × balancer × cancellation matrix).
 from .batch import (
     ReplicationSpec,
     batch_over_seeds,
+    run_policy_batch,
     run_replications,
     simulate_batch,
 )
@@ -33,6 +34,7 @@ from .kernel import simulate_replication
 __all__ = [
     "ReplicationSpec",
     "batch_over_seeds",
+    "run_policy_batch",
     "run_replications",
     "simulate_batch",
     "simulate_replication",

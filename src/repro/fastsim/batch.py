@@ -73,6 +73,27 @@ def batch_over_seeds(
     )
 
 
+def run_policy_batch(system, items: Sequence[tuple]):
+    """Heterogeneous-policy batch: one replication per ``(policy, rng)``.
+
+    The optimize layer's grid fitting runs many adaptive chains in
+    lockstep — each round is one batch of *different* policies, each
+    carrying its own generator so chain ``k`` consumes randomness
+    exactly as a standalone serial fit would. Systems exposing a
+    ``batch_config`` :class:`~repro.simulation.engine.ClusterConfig`
+    (the queueing workload) execute through :func:`simulate_batch`
+    directly; anything else falls back to per-item ``run`` calls, which
+    already share the fast kernel. Element ``i`` is bit-for-bit
+    ``system.run(items[i][0], items[i][1])``.
+    """
+    config = getattr(system, "batch_config", None)
+    if isinstance(config, ClusterConfig):
+        return simulate_batch(
+            [ReplicationSpec(config, policy, seed=rng) for policy, rng in items]
+        )
+    return [system.run(policy, as_rng(rng)) for policy, rng in items]
+
+
 def run_replications(system, policy: ReissuePolicy, seeds: Sequence[int]):
     """Seed-paired replications on any :class:`SystemUnderTest`.
 

@@ -13,6 +13,8 @@ runtime — driven by the declarative Scenario API:
     repro run my.toml --engine fastsim --seeds 101,103
     repro run redis-tail-taming --engine pipeline --workers 4 --cache .c
     repro run queueing-tail-quick --engine serving --requests 500
+    repro optimize queueing-fit-singler  # solve the objective for a policy
+    repro optimize my.toml --solver simulated --trials 8
     repro figure list                    # paper figures (was repro-experiment)
     repro figure run fig3 --scale quick
     repro serve --backend drifting --policy auto   (was repro-serve)
@@ -156,6 +158,126 @@ def run_run_command(args) -> int:
     return 0
 
 
+# -- repro optimize ----------------------------------------------------------
+
+
+def configure_optimize_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario",
+        help="a bundled scenario name or a path to a .toml scenario file; "
+        "the fit targets its [objective] on its [system]",
+    )
+    parser.add_argument(
+        "--solver",
+        default=None,
+        help="repro.optimize solver kind (default: the scenario's "
+        "[objective] solve field, else 'empirical'; see docs/optimize.md)",
+    )
+    parser.add_argument(
+        "--family",
+        default="single-r",
+        choices=("single-r", "single-d"),
+        help="policy family to fit (default: single-r)",
+    )
+    parser.add_argument(
+        "--percentile",
+        type=float,
+        default=None,
+        help="override the scenario's objective percentile",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="override the scenario's reissue budget",
+    )
+    parser.add_argument(
+        "--sla",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency target for the sla-budget solver "
+        "(default: the scenario's objective sla_ms)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=6,
+        help="adaptive trials for the simulated / budget solvers "
+        "(default: 6)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=None,
+        metavar="S1,S2,...",
+        help="override the scenario's seeds (first seeds the fit stream, "
+        "all evaluate budget-search probes)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the fitted-policy report as JSON",
+    )
+
+
+def run_optimize_command(args) -> int:
+    from .optimize import FitRequest, solve, solver_names
+    from .scenarios import coerce_scenario
+
+    try:
+        scenario = coerce_scenario(args.scenario).check()
+        solver = args.solver or scenario.objective.solve or "empirical"
+        if solver not in solver_names():
+            raise ValueError(
+                f"unknown solver {solver!r}; registered: {solver_names()}"
+            )
+        seeds = args.seeds if args.seeds is not None else scenario.scale.seeds
+        if not seeds:
+            raise ValueError("need at least one seed")
+        objective = scenario.objective
+        budget = args.budget if args.budget is not None else objective.budget
+        primary = (
+            scenario.workload.service.build()
+            if scenario.workload.service is not None
+            else None
+        )
+        if solver == "analytic" and primary is None:
+            raise ValueError(
+                "the analytic solver optimizes against closed-form "
+                "distributions: give the scenario a [workload.service] "
+                "table (or use a sample-log / system solver)"
+            )
+        request = FitRequest(
+            percentile=(
+                args.percentile
+                if args.percentile is not None
+                else objective.percentile
+            ),
+            budget=0.05 if budget is None else budget,
+            family=args.family,
+            sla_ms=args.sla if args.sla is not None else objective.sla_ms,
+            system=scenario.build_system(),
+            primary=primary,
+            seed=int(seeds[0]),
+            seeds=tuple(int(s) for s in seeds),
+            trials=args.trials,
+        )
+        t0 = time.perf_counter()
+        result = solve(request, solver)
+        elapsed = time.perf_counter() - t0
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        summary = {"scenario": scenario.name, **result.summary()}
+        print(json.dumps(summary, indent=2, default=float))
+    else:
+        print(result.render())
+        print(f"[{scenario.name} solved by {solver} in {elapsed:.1f}s]")
+    return 0
+
+
 # -- repro scenarios ---------------------------------------------------------
 
 
@@ -250,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_run_parser(run_p)
 
+    opt_p = sub.add_parser(
+        "optimize",
+        help="solve a scenario's objective for a fitted reissue policy",
+    )
+    configure_optimize_parser(opt_p)
+
     scen_p = sub.add_parser(
         "scenarios", help="list or validate declarative scenarios"
     )
@@ -282,6 +410,8 @@ def main(argv=None) -> int:
 
     if args.command == "run":
         return run_run_command(args)
+    if args.command == "optimize":
+        return run_optimize_command(args)
     if args.command == "scenarios":
         return run_scenarios_command(args)
     if args.command == "figure":

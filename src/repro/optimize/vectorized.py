@@ -1,0 +1,247 @@
+"""Broadcast reimplementation of the Figure-1 parameter sweeps.
+
+The legacy sweeps in :mod:`repro.core.optimizer` walk the sorted sample
+log with a scalar two-pointer loop, calling ``discrete_cdf`` (a Python
+wrapper around one ``np.searchsorted``) once per probe — O(N) probes,
+each a few microseconds of interpreter overhead. At figure-scale logs
+(8k–50k samples) the fit costs as much as the simulation it fits.
+
+This module computes the same search over the whole ``(d, t)`` candidate
+grid with array ``np.searchsorted`` calls and **returns bit-for-bit the
+same** :class:`~repro.core.optimizer.SingleRFit`:
+
+* every success-rate value is produced by the *identical* sequence of
+  IEEE-754 operations the scalar code performs (same operand order, same
+  dtype), so each feasibility comparison ``alpha >= k`` agrees exactly;
+* the SingleR sweep's two-pointer trajectory is reconstructed from a
+  vectorized binary search per candidate delay (valid because the
+  success rate is non-decreasing in ``t`` for a fixed ``d``), and then
+  **verified**: the exact probe sequence the scalar loop would make is
+  replayed in one broadcast evaluation. If float rounding ever produced
+  a non-monotone feasibility pattern that fools the binary search, the
+  verification fails and we fall back to the scalar sweep — equality is
+  guaranteed, not assumed;
+* the SingleD sweep needs no fallback: its single descent is emulated
+  exactly by locating the highest infeasible candidate below the top.
+
+``tests/test_optimize_vectorized.py`` enforces bit-for-bit equality
+against the retained legacy sweeps across a randomized matrix of sample
+sets, percentiles, and budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.optimizer import (
+    SingleRFit,
+    compute_optimal_singled as _singled_scalar,
+    compute_optimal_singler as _singler_scalar,
+    discrete_cdf,
+    singler_success_rate,
+)
+
+
+def _check_inputs(rx: np.ndarray, ry: np.ndarray, percentile: float, budget: float):
+    if rx.size == 0 or ry.size == 0:
+        raise ValueError("rx and ry must be non-empty")
+    if not 0.0 < percentile < 1.0:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+
+
+def _alpha(
+    rx: np.ndarray,
+    ry: np.ndarray,
+    fx_at: np.ndarray,
+    j: np.ndarray,
+    d: np.ndarray,
+    q: np.ndarray,
+    degenerate: np.ndarray,
+) -> np.ndarray:
+    """``SingleRSuccessRate`` at ``t = rx[j]`` for per-element ``(d, q)``.
+
+    Replicates ``singler_success_rate`` operation for operation:
+    ``p_x_le_t + q * (1.0 - p_x_le_t) * p_y`` with the ``surv <= 0``
+    branch collapsing to ``p_x_le_t``.
+    """
+    fx = fx_at[j]
+    fy = np.searchsorted(ry, rx[j] - d, side="left").astype(np.float64) / ry.size
+    return np.where(degenerate, fx, fx + q * (1.0 - fx) * fy)
+
+
+def compute_optimal_singler_vectorized(
+    rx,
+    ry,
+    percentile: float,
+    budget: float,
+) -> SingleRFit:
+    """Vectorized ``ComputeOptimalSingleR`` — same result, no scalar loop.
+
+    Drop-in replacement for
+    :func:`repro.core.optimizer.compute_optimal_singler`.
+    """
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    ry = np.sort(np.asarray(ry, dtype=np.float64))
+    _check_inputs(rx, ry, percentile, budget)
+
+    picked = _sweep_trajectory(rx, ry, percentile, budget)
+    if picked is None:  # pathological float non-monotonicity: exact path
+        return _singler_scalar(rx, ry, percentile, budget)
+    d_star, t = picked
+
+    # Finishers shared verbatim with the scalar implementation.
+    p_x_ge_d = 1.0 - discrete_cdf(rx, d_star)
+    q = 1.0 if p_x_ge_d <= budget else budget / p_x_ge_d
+    success = singler_success_rate(rx, ry, budget, t, d_star)
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    return SingleRFit(
+        delay=float(d_star),
+        prob=float(q),
+        predicted_tail=float(t),
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )
+
+
+def _sweep_trajectory(rx, ry, percentile, budget):
+    """The two-pointer trajectory, reconstructed in broadcast form.
+
+    Returns ``(d_star, t)`` exactly as the scalar sweep would pick them,
+    or ``None`` when the probe-replay verification detects a feasibility
+    pattern the monotone binary search cannot represent (caller falls
+    back to the scalar loop).
+    """
+    n = rx.size
+    i_max = max(int(np.ceil(n * (1.0 - budget))) - 1, 0)
+    cand = np.arange(min(i_max, n - 1) + 1)
+    d = rx[cand]
+
+    # First-occurrence index of each sample value: both the candidates'
+    # survival Pr(X > d) and the CDF at every probe t = rx[j] read it.
+    locc_all = np.searchsorted(rx, rx, side="left")
+    fx_at = locc_all.astype(np.float64) / n
+    locc = locc_all[cand]  # lowest j reachable under ``rx[j-1] >= d``
+    surv = 1.0 - fx_at[cand]
+    degenerate = surv <= 0.0  # unreachable for sample delays; kept exact
+    with np.errstate(divide="ignore"):
+        q = np.where(degenerate, 1.0, np.minimum(1.0, budget / surv))
+
+    def feasible(d_idx: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return (
+            _alpha(rx, ry, fx_at, j, d[d_idx], q[d_idx], degenerate[d_idx])
+            >= percentile
+        )
+
+    # Per-candidate first feasible t-index, assuming alpha(t) monotone in
+    # t for fixed d (true in exact arithmetic; verified below in floats).
+    all_idx = np.arange(cand.size)
+    top = feasible(all_idx, np.full(cand.size, n - 1))
+    jmin = np.full(cand.size, n, dtype=np.int64)  # sentinel: none feasible
+    lo = np.zeros(cand.size, dtype=np.int64)
+    hi = np.full(cand.size, n - 1, dtype=np.int64)
+    active = top.copy()
+    while np.any(active & (lo < hi)):
+        sel = active & (lo < hi)
+        mid = (lo[sel] + hi[sel]) // 2
+        f = feasible(all_idx[sel], mid)
+        hi[sel] = np.where(f, mid, hi[sel])
+        lo[sel] = np.where(f, lo[sel], mid + 1)
+    jmin[top] = lo[top]
+
+    # The inner loop can only settle at max(first feasible t, first
+    # sample >= d); the outer loop's shared j is then a running minimum.
+    land = np.maximum(jmin, locc)
+    land_prefix = np.minimum.accumulate(land)
+    j_before = np.empty(cand.size, dtype=np.int64)
+    j_before[0] = n - 1
+    if cand.size > 1:
+        j_before[1:] = np.minimum(n - 1, land_prefix[:-1])
+    violated = cand > j_before  # the ``while i <= min(j, i_max)`` exit
+    n_proc = int(np.argmax(violated)) if bool(violated.any()) else cand.size
+    jb = j_before[:n_proc]
+    ja = np.minimum(jb, land[:n_proc])
+
+    moved = ja < jb
+    d_star_idx = int(np.flatnonzero(moved)[-1]) if bool(moved.any()) else 0
+    d_star = rx[cand[d_star_idx]] if bool(moved.any()) else rx[0]
+    j_final = int(ja[-1]) if n_proc else n - 1
+    t = rx[j_final]
+
+    # -- probe replay: certify the trajectory matches the scalar loop ----
+    # Committed probes: for candidate i the scalar loop accepted every
+    # t = rx[j], j in [ja[i], jb[i] - 1] (must all be feasible) ...
+    counts = jb - ja
+    total = int(counts.sum())
+    if total:
+        d_rep = np.repeat(np.arange(n_proc), counts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        j_comm = np.arange(total) - np.repeat(starts, counts) + np.repeat(ja, counts)
+        if not bool(np.all(feasible(d_rep, j_comm))):
+            return None
+    # ... and then stopped: when the stop was a failed success-rate check
+    # (not the ``rx[j-1] < d`` / ``j == 0`` boundary), the probe below the
+    # landing point must be infeasible.
+    stop = (ja > 0) & (ja > locc[:n_proc])
+    if bool(stop.any()):
+        if bool(np.any(feasible(np.flatnonzero(stop), ja[stop] - 1))):
+            return None
+    return d_star, t
+
+
+def compute_optimal_singled_vectorized(
+    rx,
+    ry,
+    percentile: float,
+    budget: float,
+) -> SingleRFit:
+    """Vectorized SingleD fit — bit-for-bit
+    :func:`repro.core.optimizer.compute_optimal_singled`.
+
+    The scalar loop walks t downward from the top sample and stops at the
+    first success-rate failure (or at ``t < d``); the survivor is exactly
+    ``rx[b + 1]`` where ``b`` is the highest infeasible index at or above
+    the Eq.-2 delay — computable in one broadcast pass, no monotonicity
+    assumption needed.
+    """
+    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    ry = np.sort(np.asarray(ry, dtype=np.float64))
+    _check_inputs(rx, ry, percentile, budget)
+
+    n = rx.size
+    idx = min(int(np.ceil(n * (1.0 - budget))), n - 1)
+    d = float(rx[idx])
+    lo_d = int(np.searchsorted(rx, d, side="left"))
+
+    j = np.arange(lo_d, n)
+    fx = np.searchsorted(rx, rx[j], side="left").astype(np.float64) / n
+    fy = np.searchsorted(ry, rx[j] - d, side="left").astype(np.float64) / ry.size
+    alpha = fx + (1.0 - fx) * fy
+    infeasible = np.flatnonzero(alpha < percentile)
+    if infeasible.size == 0:
+        best_t = float(rx[lo_d])
+    else:
+        b = lo_d + int(infeasible[-1])
+        best_t = float(rx[b + 1]) if b + 1 <= n - 1 else float(rx[n - 1])
+
+    baseline = float(np.quantile(rx, percentile, method="higher"))
+    best_t = min(best_t, baseline)
+    success = singler_success_rate(rx, ry, 1.0, best_t, d)
+    return SingleRFit(
+        delay=d,
+        prob=1.0,
+        predicted_tail=best_t,
+        predicted_success=float(success),
+        baseline_tail=baseline,
+        budget=float(budget),
+        percentile=float(percentile),
+    )
+
+
+# Re-exported for benchmarks/tests that want the scalar references
+# alongside the vectorized paths without reaching into core directly.
+compute_optimal_singler_scalar = _singler_scalar
+compute_optimal_singled_scalar = _singled_scalar

@@ -23,12 +23,13 @@ from .spec import SystemRef
 if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.common import Scale
 
-# The fit-protocol helpers live in experiments.common, whose package
-# eagerly imports the figure drivers, which import this package — so the
-# imports below must stay inside the functions (the figure drivers are
-# the only importers at module-load time, and they load experiments
-# first; anyone importing repro.pipeline directly must not drag the
-# drivers in transitively).
+# The fit protocol lives in repro.optimize (and experiments.common
+# re-wraps it with Scale-based signatures); experiments eagerly imports
+# the figure drivers, which import this package — so the experiments /
+# optimize imports below must stay inside the functions (the figure
+# drivers are the only importers at module-load time, and they load
+# experiments first; anyone importing repro.pipeline directly must not
+# drag the drivers in transitively).
 
 
 def _build(system) -> Any:
@@ -104,20 +105,25 @@ def fit_singler_cell(
     system, percentile: float, budget: float, scale: "Scale", seed: int,
     learning_rate: float = 0.5,
 ):
-    """Adaptive SingleR fit (§4.3/§6.1) with a fresh seed-derived stream."""
-    from ..experiments.common import fit_singler
+    """Adaptive SingleR fit (§4.3/§6.1) with a fresh seed-derived stream,
+    through the :mod:`repro.optimize` solver layer."""
+    from ..optimize import fit_singler_protocol
 
-    return fit_singler(
-        _build(system), percentile, budget, scale,
+    return fit_singler_protocol(
+        _build(system), percentile, budget,
+        trials=scale.adaptive_trials,
         learning_rate=learning_rate, rng=as_rng(seed),
     )
 
 
 def fit_singled_cell(system, budget: float, scale: "Scale", seed: int):
-    """Adaptive SingleD baseline fit (§5.1)."""
-    from ..experiments.common import fit_singled
+    """Adaptive SingleD baseline fit (§5.1), through the solver layer."""
+    from ..optimize import fit_singled_protocol
 
-    return fit_singled(_build(system), budget, scale, rng=as_rng(seed))
+    return fit_singled_protocol(
+        _build(system), percentile=0.99, budget=budget,
+        trials=scale.adaptive_trials, rng=as_rng(seed),
+    )
 
 
 def adaptive_trace_cell(
@@ -148,26 +154,25 @@ def budget_search_cell(
     """§4.4 expanding/halving budget search, sequential by nature.
 
     The search adaptively decides each probe from the previous one, so it
-    compiles to a single cell rather than a fan-out; each probe still
-    reuses the shared fit/evaluate protocol internally. ``baseline`` is
-    the (tail, rate) reduction of the no-reissue evaluation cells — a
-    dependency, so the planner shares those replications with the panels
-    that plot them.
+    compiles to a single cell rather than a fan-out; each probe is the
+    optimize layer's :func:`~repro.optimize.simulated_budget_probe` —
+    fit at the trial budget, then seed-paired fastsim evaluation.
+    ``baseline`` is the (tail, rate) reduction of the no-reissue
+    evaluation cells — a dependency, so the planner shares those
+    replications with the panels that plot them.
     """
-    from ..experiments.common import fit_singler, median_tail
+    from ..optimize import simulated_budget_probe
 
     sys_ = _build(system)
     base = baseline[0]
-
-    def evaluate(budget: float) -> float:
-        if budget <= 0.0:
-            return base
-        pol = fit_singler(sys_, percentile, budget, scale, rng=as_rng(seed))
-        tail, _ = median_tail(
-            sys_, pol, percentile, scale.eval_seeds[:eval_seed_count]
-        )
-        return tail
-
+    evaluate = simulated_budget_probe(
+        sys_,
+        percentile,
+        trials=scale.adaptive_trials,
+        seed=seed,
+        eval_seeds=scale.eval_seeds[:eval_seed_count],
+        baseline_latency=base,
+    )
     return find_optimal_budget(
         evaluate,
         initial_step=initial_step,

@@ -198,15 +198,19 @@ class PolicySpec:
 
 @dataclass(frozen=True)
 class Objective:
-    """What a run is judged on."""
+    """What a run is judged on — and, optionally, how to *solve* for a
+    policy meeting it (``solve`` names a :mod:`repro.optimize` solver;
+    ``repro optimize`` uses it as the default)."""
 
     percentile: float = 0.99
     budget: float | None = None  # declared reissue budget (informational)
     sla_ms: float | None = None  # optional latency target at `percentile`
+    solve: str | None = None  # repro.optimize solver kind, e.g. "empirical"
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "Objective":
         d = dict(d)
+        solve = d.pop("solve", None)
         out = cls(
             percentile=float(d.pop("percentile", 0.99)),
             budget=(lambda b: None if b is None else float(b))(
@@ -215,11 +219,12 @@ class Objective:
             sla_ms=(lambda s: None if s is None else float(s))(
                 d.pop("sla_ms", None)
             ),
+            solve=None if solve is None else str(solve),
         )
         if d:
             raise ValueError(
                 f"unknown [objective] fields: {sorted(d)}; "
-                "expected percentile / budget / sla_ms"
+                "expected percentile / budget / sla_ms / solve"
             )
         return out
 
@@ -229,6 +234,8 @@ class Objective:
             out["budget"] = self.budget
         if self.sla_ms is not None:
             out["sla_ms"] = self.sla_ms
+        if self.solve is not None:
+            out["solve"] = self.solve
         return out
 
 
@@ -403,6 +410,14 @@ class Scenario:
                 f"objective.budget must be in [0, 1], got "
                 f"{self.objective.budget}"
             )
+        if self.objective.solve is not None:
+            from ..optimize import solver_names
+
+            if self.objective.solve not in solver_names():
+                problems.append(
+                    f"unknown objective.solve solver "
+                    f"{self.objective.solve!r}; registered: {solver_names()}"
+                )
         if not self.scale.seeds:
             problems.append("scale.seeds must name at least one seed")
         if not problems:
@@ -450,6 +465,7 @@ def scenario(
     percentile: float = 0.99,
     budget: float | None = None,
     sla_ms: float | None = None,
+    solve: str | None = None,
     seeds=(101, 103),
     n_queries: int | None = None,
     description: str = "",
@@ -472,7 +488,9 @@ def scenario(
         system=SystemSpec.of(system, **system_params),
         workload=WorkloadSpec.from_dict(workload or {}),
         policy=pol,
-        objective=Objective(percentile=percentile, budget=budget, sla_ms=sla_ms),
+        objective=Objective(
+            percentile=percentile, budget=budget, sla_ms=sla_ms, solve=solve
+        ),
         scale=ScaleSpec(
             n_queries=n_queries, seeds=tuple(int(s) for s in seeds)
         ),

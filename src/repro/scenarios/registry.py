@@ -10,7 +10,8 @@ Registered factories must be module-level callables taking primitive
 keyword arguments (the same restriction the pipeline's
 :func:`repro.pipeline.spec.system_ref` imposes): that keeps every
 registry entry fingerprintable, picklable into worker processes, and
-serializable to TOML.
+serializable to TOML. The generic ``Registry`` mechanism itself lives
+in :mod:`repro.registry` (the solver layer's ``SOLVERS`` shares it).
 
 Third-party packs extend the same registries::
 
@@ -23,11 +24,8 @@ Third-party packs extend the same registries::
 
 from __future__ import annotations
 
-import inspect
-from dataclasses import dataclass, field
-from typing import Any, Callable
-
 from ..core.policies import POLICY_KINDS, ReissuePolicy
+from ..registry import Registry, RegistryEntry
 from ..distributions import (
     Deterministic,
     Exponential,
@@ -44,98 +42,17 @@ from ..simulation.workloads import (
 from ..systems import LuceneClusterSystem, RedisClusterSystem
 
 
-@dataclass(frozen=True)
-class RegistryEntry:
-    """One registered factory plus the metadata the CLI lists."""
-
-    name: str
-    factory: Callable[..., Any]
-    summary: str = ""
-    metadata: dict = field(default_factory=dict)
-
-    def signature(self) -> inspect.Signature:
-        return inspect.signature(self.factory)
-
-    def bind(self, **kwargs) -> dict:
-        """Validate ``kwargs`` against the factory signature.
-
-        Returns the bound arguments (without defaults applied) or raises
-        a ``ValueError`` naming the entry and the accepted parameters —
-        the error a mistyped TOML key surfaces as.
-        """
-        try:
-            bound = self.signature().bind(**kwargs)
-        except TypeError as exc:
-            accepted = ", ".join(self.signature().parameters)
-            raise ValueError(
-                f"{self.name!r}: {exc}; accepted parameters: {accepted}"
-            ) from None
-        return dict(bound.arguments)
-
-    def build(self, **kwargs) -> Any:
-        self.bind(**kwargs)
-        return self.factory(**kwargs)
-
-
-class Registry:
-    """A named kind → factory mapping with decorator registration."""
-
-    def __init__(self, kind: str):
-        self.kind = kind
-        self._entries: dict[str, RegistryEntry] = {}
-
-    def register(
-        self,
-        name: str,
-        factory: Callable[..., Any] | None = None,
-        *,
-        summary: str = "",
-        **metadata,
-    ):
-        """Register ``factory`` under ``name`` (usable as a decorator)."""
-
-        def _add(fn):
-            if name in self._entries:
-                raise ValueError(
-                    f"{self.kind} {name!r} is already registered "
-                    f"(to {self._entries[name].factory!r})"
-                )
-            self._entries[name] = RegistryEntry(
-                name=name, factory=fn, summary=summary, metadata=dict(metadata)
-            )
-            return fn
-
-        if factory is not None:
-            return _add(factory)
-        return _add
-
-    def get(self, name: str) -> RegistryEntry:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; "
-                f"registered: {sorted(self._entries)}"
-            ) from None
-
-    def build(self, name: str, **kwargs) -> Any:
-        return self.get(name).build(**kwargs)
-
-    def names(self) -> list[str]:
-        return sorted(self._entries)
-
-    def entries(self) -> list[RegistryEntry]:
-        return [self._entries[n] for n in self.names()]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._entries
-
-    def __iter__(self):
-        return iter(self.names())
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "SYSTEMS",
+    "POLICIES",
+    "DISTRIBUTIONS",
+    "make_policy",
+    "make_distribution",
+    "system_spec_ref",
+    "build_system",
+]
 
 #: System substrates (anything implementing ``SystemUnderTest``).
 SYSTEMS = Registry("system")

@@ -22,17 +22,25 @@ Deadline-expired requests are censored and excluded — except probes,
 whose attempts both ran to completion and are fully observed even when
 they missed the SLA.
 
-Known tradeoff: controller refits run synchronously on the event loop
-(inside ``record``), so a refit over a large window briefly pauses timer
-dispatch. At the default window sizes a refit is a few milliseconds of
-numpy work; workloads needing larger windows should lower
-``refit_interval`` pressure or refit off-path.
+Refit scheduling: with ``refit_mode="executor"`` (what the live
+``repro serve`` runtime uses) controller refits run on a single-worker
+thread pool, so a refit over a large window never pauses the event
+loop's timer dispatch — batches are handed to the worker in arrival
+order, and :meth:`AutoTuner.drain` joins the queue when a
+deterministic read of the tuned policy is needed. The default
+``refit_mode="sync"`` keeps the historical inline behaviour: every
+refit completes inside ``record``, which is what tests (and any caller
+that wants strictly reproducible policy timelines) rely on.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, ThreadPoolExecutor
+
 from ..core.online import OnlinePolicyController
 from ..core.policies import ReissuePolicy, SingleR
+
+REFIT_MODES = ("sync", "executor")
 
 
 class AutoTuner:
@@ -52,6 +60,12 @@ class AutoTuner:
     initial_policy:
         Policy served before the first refit (default: the controller's
         §4.3 cold-start ``SingleR(0, budget)``).
+    refit_mode:
+        ``"sync"`` (default) refits inline inside ``record`` —
+        deterministic, the mode tests use. ``"executor"`` hands each
+        flushed batch to a single-worker thread pool so refits never
+        block the serving event loop; call :meth:`drain` to wait for
+        in-flight refits (``repro serve`` drains before reporting).
     """
 
     def __init__(
@@ -62,10 +76,15 @@ class AutoTuner:
         batch_size: int = 500,
         controller: OnlinePolicyController | None = None,
         initial_policy: ReissuePolicy | None = None,
+        refit_mode: str = "sync",
         **controller_kwargs,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if refit_mode not in REFIT_MODES:
+            raise ValueError(
+                f"refit_mode must be one of {REFIT_MODES}, got {refit_mode!r}"
+            )
         if controller is None:
             # Serving default: after a drift refit, fit only the regime
             # that triggered it — mixed-regime windows misprice q.
@@ -90,6 +109,13 @@ class AutoTuner:
         self._pair_y: list[float] = []
         self.samples_used = 0
         self.samples_discarded = 0
+        self.refit_mode = refit_mode
+        self._executor: ThreadPoolExecutor | None = None
+        self._pending: list[Future] = []
+        self._refit_error: BaseException | None = None
+        #: Background refits that raised (executor mode). The first
+        #: exception is re-raised by :meth:`drain`; this counts them all.
+        self.refit_failures = 0
 
     # -- the policy the client serves with ----------------------------------
     @property
@@ -134,15 +160,90 @@ class AutoTuner:
             self.flush()
 
     def flush(self) -> None:
-        """Push buffered observations into the controller now."""
+        """Hand buffered observations to the controller.
+
+        Sync mode runs the (possible) refit inline; executor mode
+        snapshots the buffers and enqueues the feed on the single
+        worker, returning immediately — observation order is preserved
+        because the pool has exactly one thread.
+        """
         if not self._primary:
             return
-        if self._pair_x:
-            self.controller.observe(
-                self._primary, self._pair_x, self._pair_y
-            )
-        else:
-            self.controller.observe(self._primary)
+        primary = list(self._primary)
+        pair_x = list(self._pair_x)
+        pair_y = list(self._pair_y)
         self._primary.clear()
         self._pair_x.clear()
         self._pair_y.clear()
+        if self.refit_mode == "sync":
+            self._observe(primary, pair_x, pair_y)
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-autotune"
+            )
+        self._collect_done()
+        self._pending.append(
+            self._executor.submit(self._observe, primary, pair_x, pair_y)
+        )
+
+    def _collect_done(self) -> None:
+        """Drop completed futures, latching the first failure.
+
+        A failed refit must not vanish in housekeeping — drain()
+        surfaces the latched exception — but keeping failed futures
+        around would grow without bound under a persistently bad feed,
+        so errors are folded into one latched exception + a counter.
+        """
+        still: list[Future] = []
+        for future in self._pending:
+            if not future.done():
+                still.append(future)
+                continue
+            exc = future.exception()
+            if exc is not None:
+                self.refit_failures += 1
+                if self._refit_error is None:
+                    self._refit_error = exc
+        self._pending = still
+
+    def _observe(self, primary, pair_x, pair_y) -> None:
+        if pair_x:
+            self.controller.observe(primary, pair_x, pair_y)
+        else:
+            self.controller.observe(primary)
+
+    def drain(self) -> None:
+        """Flush, then wait for every in-flight executor refit.
+
+        After ``drain`` returns, :attr:`policy` reflects all recorded
+        observations — the deterministic read point for reports and
+        tests running in executor mode. Re-raises the *first* exception
+        any background refit raised since the last drain
+        (:attr:`refit_failures` counts them all).
+        """
+        self.flush()
+        pending, self._pending = self._pending, []
+        for future in pending:
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - latched below
+                self.refit_failures += 1
+                if self._refit_error is None:
+                    self._refit_error = exc
+        if self._refit_error is not None:
+            error, self._refit_error = self._refit_error, None
+            raise error
+
+    def close(self) -> None:
+        """Drain and shut the refit worker down (idempotent).
+
+        The worker is shut down even when drain re-raises a failed
+        refit — no thread outlives a crashing close.
+        """
+        try:
+            self.drain()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

@@ -60,11 +60,14 @@ def build_backend(args, rng) -> object:
 
 def build_policy_and_tuner(args):
     if args.policy == "auto":
+        # Live runtime: refits run on the tuner's worker thread so a
+        # large-window fit never pauses the event loop's timers.
         tuner = AutoTuner(
             percentile=args.percentile,
             budget=args.budget,
             batch_size=args.batch_size,
             refit_interval=args.refit_interval,
+            refit_mode="executor",
         )
         return None, tuner
     if args.policy == "none":
@@ -201,7 +204,7 @@ def run_serve_command(args) -> int:
     print("== final ==")
     print(snap.render())
     if tuner is not None:
-        tuner.flush()
+        tuner.close()  # drain in-flight executor refits, then report
         print(
             f"  policy refits        {tuner.n_refits:>10d}"
             f"  (final {client.policy!r})"

@@ -144,6 +144,13 @@ class QueueingSystem:
     def run(self, policy: ReissuePolicy, rng: RngLike = None) -> RunResult:
         return simulate_cluster(self.config, policy, rng)
 
+    @property
+    def batch_config(self) -> ClusterConfig:
+        """The replication config heterogeneous-policy batches run on
+        (:func:`repro.fastsim.run_policy_batch`); ``run`` is exactly one
+        replication of it, so batching cannot change results."""
+        return self.config
+
     def run_batch(self, policy: ReissuePolicy, seeds) -> list[RunResult]:
         """Seed-paired replications through the fastsim batch layer.
 

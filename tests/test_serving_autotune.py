@@ -114,6 +114,99 @@ class TestPolicyExposure:
             AutoTuner(batch_size=0)
 
 
+class TestExecutorRefits:
+    """refit_mode="executor": refits run off the event loop; drain() is
+    the deterministic read point and must reproduce sync-mode fits."""
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="refit_mode"):
+            AutoTuner(refit_mode="thread")
+
+    def test_executor_drain_matches_sync_policy(self, rng):
+        xs = rng.lognormal(3.0, 0.6, 900)
+        sync = AutoTuner(
+            percentile=0.95, budget=0.1, batch_size=300, refit_interval=300
+        )
+        exe = AutoTuner(
+            percentile=0.95, budget=0.1, batch_size=300, refit_interval=300,
+            refit_mode="executor",
+        )
+        for x in xs:
+            sync.record(outcome(latency=float(x)))
+            exe.record(outcome(latency=float(x)))
+        exe.drain()
+        assert exe.n_refits == sync.n_refits >= 1
+        assert exe.policy == sync.policy
+        exe.close()
+
+    def test_record_does_not_block_on_refit(self, rng):
+        # In executor mode a flush enqueues work instead of fitting
+        # inline: immediately after the batch boundary the refit may not
+        # have landed yet, but drain() always observes it.
+        tuner = AutoTuner(
+            percentile=0.95, budget=0.1, batch_size=300, refit_interval=300,
+            refit_mode="executor",
+        )
+        for x in rng.lognormal(3.0, 0.6, 300):
+            tuner.record(outcome(latency=float(x)))
+        tuner.drain()
+        assert tuner.n_refits == 1
+        tuner.close()
+
+    def test_background_refit_errors_surface_on_drain(self):
+        tuner = AutoTuner(
+            percentile=0.95, budget=0.1, batch_size=10,
+            refit_mode="executor",
+        )
+        for _ in range(10):
+            tuner.record(outcome(latency=-5.0))  # invalid: negative time
+        with pytest.raises(ValueError, match="non-negative"):
+            tuner.drain()
+        tuner.close()
+
+    def test_errored_refit_survives_later_flushes(self, rng):
+        # A failed background refit must not be pruned by a subsequent
+        # flush's housekeeping: drain() still raises even when healthy
+        # batches followed the bad one.
+        tuner = AutoTuner(
+            percentile=0.95, budget=0.1, batch_size=10,
+            refit_mode="executor",
+        )
+        for _ in range(10):
+            tuner.record(outcome(latency=-5.0))
+        tuner._pending[-1].exception(timeout=5)  # let the failure land
+        for x in rng.lognormal(3.0, 0.6, 10):
+            tuner.record(outcome(latency=float(x)))  # prunes done futures
+        with pytest.raises(ValueError, match="non-negative"):
+            tuner.drain()
+        tuner.close()
+
+    def test_close_is_idempotent(self):
+        tuner = AutoTuner(percentile=0.95, budget=0.1, refit_mode="executor")
+        tuner.close()
+        tuner.close()
+
+    def test_live_serving_with_executor_refits(self):
+        async def go():
+            backend = SyntheticBackend(
+                LogNormal(mu=3.0, sigma=0.8), time_scale=2e-5, rng=9
+            )
+            tuner = AutoTuner(
+                percentile=0.99, budget=0.1, batch_size=400,
+                refit_interval=400, refit_mode="executor",
+            )
+            client = HedgedClient(
+                backend, tuner=tuner, probe_fraction=0.05, rng=10
+            )
+            await client.serve(2_000)
+            return client
+
+        client = asyncio.run(go())
+        client.tuner.close()
+        assert client.tuner.n_refits >= 1
+        assert client.policy.delay > 0.0
+
+
 class TestLiveAutotuning:
     def test_stationary_spend_tracks_budget(self):
         # On a stationary workload the tuned policy's measured spend must
