@@ -16,12 +16,15 @@ is itself a one-spec batch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.interfaces import RunResult
 from ..core.policies import ReissuePolicy
 from ..distributions.base import RngLike, as_rng
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..simulation.engine import ClusterConfig
 from .kernel import simulate_replication
 
@@ -52,7 +55,34 @@ def simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
     result: ``simulate_batch([a, b])[0] == simulate_batch([a])[0]`` bit
     for bit. Specs carrying a shared ``Generator`` consume it in spec
     order instead, tying their results to the batch's composition.
+
+    Under tracing the batch gets one span (batch-level, never
+    per-event): replications and queries processed, plus a
+    replications/sec gauge in the metric registry. With the default null
+    tracer the hot loop is untouched — a single ``enabled`` branch.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _simulate_batch(specs)
+    specs = list(specs)
+    with tracer.span("fastsim.batch", n_replications=len(specs)) as span:
+        t0 = time.perf_counter()
+        results = _simulate_batch(specs)
+        elapsed = time.perf_counter() - t0
+        queries = sum(r.n_queries for r in results)
+        span.attrs["queries"] = queries
+        metrics = get_metrics()
+        metrics.counter("fastsim.replications").inc(len(results))
+        metrics.counter("fastsim.queries_processed").inc(queries)
+        if elapsed > 0.0:
+            metrics.gauge("fastsim.replications_per_sec").set(
+                len(results) / elapsed
+            )
+            metrics.gauge("fastsim.queries_per_sec").set(queries / elapsed)
+    return results
+
+
+def _simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
     results: list[RunResult] = []
     for spec in specs:
         run = simulate_replication(spec.config, spec.policy, as_rng(spec.seed))
@@ -107,6 +137,17 @@ def run_replications(system, policy: ReissuePolicy, seeds: Sequence[int]):
     """
     from ..core.interfaces import supports_batch
 
-    if supports_batch(system):
-        return system.run_batch(policy, list(seeds))
-    return [system.run(policy, as_rng(s)) for s in seeds]
+    tracer = get_tracer()
+    if not tracer.enabled:
+        if supports_batch(system):
+            return system.run_batch(policy, list(seeds))
+        return [system.run(policy, as_rng(s)) for s in seeds]
+    with tracer.span(
+        "fastsim.run_replications",
+        system=type(system).__name__,
+        n_seeds=len(list(seeds)),
+        batched=supports_batch(system),
+    ):
+        if supports_batch(system):
+            return system.run_batch(policy, list(seeds))
+        return [system.run(policy, as_rng(s)) for s in seeds]

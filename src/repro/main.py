@@ -15,6 +15,8 @@ runtime — driven by the declarative Scenario API:
     repro run queueing-tail-quick --engine serving --requests 500
     repro optimize queueing-fit-singler  # solve the objective for a policy
     repro optimize my.toml --solver simulated --trials 8
+    repro trace queueing-tail-quick --engine fastsim   # traced run + artifacts
+    repro bench                          # perf suite + regression gate
     repro figure list                    # paper figures (was repro-experiment)
     repro figure run fig3 --scale quick
     repro serve --backend drifting --policy auto   (was repro-serve)
@@ -103,12 +105,20 @@ def configure_run_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the report summary as JSON instead of the table",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run under repro.obs tracing and print the span summary "
+        "and metric registry after the report",
+    )
 
 
-def run_run_command(args) -> int:
-    from .scenarios import Session
+def _engine_options_from_args(args) -> dict | None:
+    """Shared run/trace flag validation → serving engine options.
 
-    # Refuse flags the chosen engine would silently ignore.
+    Returns None (after printing the error) when a flag does not apply
+    to the chosen engine.
+    """
     mismatched = []
     if args.engine != "pipeline":
         if args.workers is not None:
@@ -126,8 +136,7 @@ def run_run_command(args) -> int:
             f"{args.engine!r} engine",
             file=sys.stderr,
         )
-        return 2
-
+        return None
     engine_options = {}
     if args.engine == "serving":
         engine_options["time_scale"] = (
@@ -135,6 +144,18 @@ def run_run_command(args) -> int:
         )
         if args.requests is not None:
             engine_options["requests"] = args.requests
+    return engine_options
+
+
+def run_run_command(args) -> int:
+    import contextlib
+
+    from .scenarios import Session
+
+    # Refuse flags the chosen engine would silently ignore.
+    engine_options = _engine_options_from_args(args)
+    if engine_options is None:
+        return 2
     session = Session(
         args.engine,
         workers=args.workers,
@@ -145,15 +166,36 @@ def run_run_command(args) -> int:
     try:
         # Session.run coerces and validates; its ValueError already lists
         # every problem the scenario has.
-        report = session.run(args.scenario, seeds=args.seeds)
+        with contextlib.ExitStack() as stack:
+            tracer = registry = None
+            if args.trace:
+                from .obs import metrics_scope, tracing
+
+                tracer = stack.enter_context(tracing())
+                registry = stack.enter_context(metrics_scope())
+            report = session.run(args.scenario, seeds=args.seeds)
     except (KeyError, TypeError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
     if args.json:
-        print(json.dumps(report.summary(), indent=2, default=float))
+        summary = report.summary()
+        if tracer is not None:
+            summary["trace"] = {
+                "spans": len(tracer.spans),
+                "metrics": registry.as_dict(),
+            }
+        print(json.dumps(summary, indent=2, default=float))
     else:
         print(report.render())
+        if tracer is not None:
+            from .obs import summary_table
+
+            print()
+            print(summary_table(tracer.spans))
+            if len(registry):
+                print()
+                print(registry.render())
         print(f"[{report.scenario.name} on {args.engine} in {elapsed:.1f}s]")
     return 0
 
@@ -353,6 +395,209 @@ def run_scenarios_command(args) -> int:
     raise AssertionError(args.scenarios_command)  # pragma: no cover
 
 
+# -- repro trace -------------------------------------------------------------
+
+
+def configure_trace_parser(parser: argparse.ArgumentParser) -> None:
+    # A traced run takes exactly the run flags plus an artifact directory.
+    configure_run_parser(parser)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("traces"),
+        metavar="DIR",
+        help="directory for the trace artifacts (default: ./traces)",
+    )
+    parser.add_argument(
+        "--stem",
+        default=None,
+        help="artifact filename stem (default: the scenario name)",
+    )
+
+
+def run_trace_command(args) -> int:
+    from .obs import (
+        metrics_scope,
+        span_tree,
+        summary_table,
+        tracing,
+        write_trace_artifacts,
+    )
+    from .scenarios import Session
+
+    engine_options = _engine_options_from_args(args)
+    if engine_options is None:
+        return 2
+    session = Session(
+        args.engine,
+        workers=args.workers,
+        cache_dir=args.cache,
+        engine_options=engine_options,
+    )
+    t0 = time.perf_counter()
+    try:
+        with tracing() as tracer, metrics_scope() as registry:
+            report = session.run(args.scenario, seeds=args.seeds)
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    stem = args.stem or f"{report.scenario.name}-{args.engine}"
+    try:
+        artifacts = write_trace_artifacts(
+            tracer.spans, args.out, stem=stem, metrics=registry.as_dict()
+        )
+    except OSError as exc:
+        print(f"error: cannot write trace artifacts: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": report.scenario.name,
+                    "engine": args.engine,
+                    "spans": len(tracer.spans),
+                    "metrics": registry.as_dict(),
+                    "artifacts": {k: str(p) for k, p in artifacts.items()},
+                },
+                indent=2,
+                default=float,
+            )
+        )
+        return 0
+    print(report.render())
+    print()
+    print(span_tree(tracer.spans))
+    print()
+    print(summary_table(tracer.spans))
+    if len(registry):
+        print()
+        print(registry.render())
+    print()
+    for kind, path in sorted(artifacts.items()):
+        print(f"wrote {kind:<7} {path}")
+    print(
+        f"[{report.scenario.name} traced on {args.engine}: "
+        f"{len(tracer.spans)} spans in {elapsed:.1f}s; open the chrome "
+        "artifact in Perfetto / chrome://tracing]"
+    )
+    return 0
+
+
+# -- repro bench -------------------------------------------------------------
+
+
+def configure_bench_parser(parser: argparse.ArgumentParser) -> None:
+    from .bench import BASELINE_WINDOW, REGRESSION_THRESHOLD, SUITE
+
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path("BENCH_history.jsonl"),
+        metavar="FILE",
+        help="perf-trajectory file to append to and gate against "
+        "(default: ./BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(SUITE),
+        default=None,
+        metavar="BENCH",
+        help="run just this bench (repeatable; default: the whole suite)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats per measurement, best-of (default: 2)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=REGRESSION_THRESHOLD,
+        help="regression gate: fail when a speedup drops more than this "
+        f"fraction below the baseline (default: {REGRESSION_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="skip the suite; just gate the newest history record "
+        f"against the median of the previous {BASELINE_WINDOW}",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="run the suite but leave the history file untouched",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the record and gate outcome as JSON",
+    )
+
+
+def run_bench_command(args) -> int:
+    from . import bench
+
+    try:
+        history = bench.load_history(args.history)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check_only:
+        if not history:
+            print(f"error: no history at {args.history}", file=sys.stderr)
+            return 2
+        record = history[-1]
+    else:
+        try:
+            record = bench.run_suite(repeats=args.repeats, only=args.only)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        history = [*history, record]
+        if not args.no_append:
+            bench.append_history(args.history, record)
+
+    gate = bench.check_regressions(history, threshold=args.threshold)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "record": record,
+                    "history_records": len(history),
+                    "checked": gate.checked,
+                    "skipped": gate.skipped,
+                    "regressions": [vars(r) for r in gate.regressions],
+                    "ok": gate.ok,
+                },
+                indent=2,
+                default=float,
+            )
+        )
+    else:
+        print(bench.render_record(record))
+        print()
+        print(bench.render_trend(history))
+        print()
+        if gate.skipped:
+            print(f"no prior data (pass): {', '.join(gate.skipped)}")
+        for reg in gate.regressions:
+            print(f"REGRESSION {reg.describe()}")
+        if gate.ok:
+            gated = len(gate.checked)
+            print(
+                f"gate ok: {gated} metric(s) within "
+                f"{args.threshold:.0%} of baseline"
+                if gated
+                else "gate ok: nothing to compare yet"
+            )
+    return 0 if gate.ok else 1
+
+
 # -- the umbrella parser -----------------------------------------------------
 
 
@@ -382,6 +627,19 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list or validate declarative scenarios"
     )
     configure_scenarios_parser(scen_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a scenario under tracing and write Perfetto/JSONL "
+        "trace artifacts",
+    )
+    configure_trace_parser(trace_p)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the perf suite, append the trajectory, gate regressions",
+    )
+    configure_bench_parser(bench_p)
 
     fig_p = sub.add_parser(
         "figure", help="regenerate paper figures (was repro-experiment)"
@@ -414,6 +672,10 @@ def main(argv=None) -> int:
         return run_optimize_command(args)
     if args.command == "scenarios":
         return run_scenarios_command(args)
+    if args.command == "trace":
+        return run_trace_command(args)
+    if args.command == "bench":
+        return run_bench_command(args)
     if args.command == "figure":
         return run_figure_command(args)
     if args.command == "serve":

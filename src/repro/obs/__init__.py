@@ -1,0 +1,70 @@
+"""``repro.obs`` — end-to-end tracing and unified metrics.
+
+The observability substrate threaded through every engine: spans
+(:mod:`repro.obs.trace`), a mergeable metric registry
+(:mod:`repro.obs.metrics`), and exporters (:mod:`repro.obs.export`).
+Tracing is off by default (the null tracer costs one branch); opt in
+with ``repro run --trace``, ``repro trace <scenario>``, the
+``REPRO_TRACE`` environment variable, or the :func:`tracing` context
+manager. See ``docs/observability.md``.
+"""
+
+from .export import (
+    chrome_trace,
+    span_tree,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace_artifacts,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    Quantile,
+    get_metrics,
+    metrics_scope,
+    set_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    absorb,
+    current_span,
+    get_tracer,
+    remote_context,
+    set_tracer,
+    snapshot_context,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "tracing_enabled",
+    "current_span",
+    "snapshot_context",
+    "remote_context",
+    "absorb",
+    "Counter",
+    "Gauge",
+    "Quantile",
+    "MetricRegistry",
+    "get_metrics",
+    "set_metrics",
+    "metrics_scope",
+    "chrome_trace",
+    "span_tree",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace_artifacts",
+]

@@ -1,0 +1,210 @@
+"""Turn span buffers into artifacts: JSONL, Chrome trace JSON, ASCII.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one span per line, greppable/streamable; the raw
+  record of a traced run.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``. Spans become ``ph:
+  "X"`` complete events; overlapping spans (concurrent hedge races) are
+  spread across synthetic ``tid`` lanes by interval packing so every
+  slice renders properly nested. The span/parent ids ride in ``args``
+  for programmatic consumers.
+* :func:`span_tree` / :func:`summary_table` — terminal rendering via
+  ``repro.viz``: the parent/child tree with durations, and a per-name
+  duration table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import Span
+
+__all__ = [
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_tree",
+    "summary_table",
+    "write_trace_artifacts",
+]
+
+
+def _as_spans(spans) -> list[Span]:
+    return [s if isinstance(s, Span) else Span.from_dict(s) for s in spans]
+
+
+def write_jsonl(spans, path) -> Path:
+    """One JSON span record per line; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for s in _as_spans(spans):
+            fh.write(json.dumps(s.as_dict(), default=float) + "\n")
+    return path
+
+
+def _assign_lanes(spans: list[Span]) -> dict[str, int]:
+    """Synthetic tid per span: overlapping spans that do not nest go to
+    different lanes, so a Chrome-trace viewer never sees two partially
+    overlapping slices on one track.
+
+    Greedy interval packing per pid: a span joins the first lane where it
+    either starts after everything open has closed, or nests entirely
+    inside that lane's innermost open span.
+    """
+    lanes_by_pid: dict[int, list[list[float]]] = {}
+    assignment: dict[str, int] = {}
+    eps = 1e-9
+    for s in sorted(spans, key=lambda s: (s.t_start, -(s.t_end or s.t_start))):
+        end = s.t_end if s.t_end is not None else s.t_start
+        lanes = lanes_by_pid.setdefault(s.pid, [])
+        for i, stack in enumerate(lanes):
+            while stack and stack[-1] <= s.t_start + eps:
+                stack.pop()
+            if not stack or stack[-1] >= end - eps:
+                stack.append(end)
+                assignment[s.span_id] = i
+                break
+        else:
+            lanes.append([end])
+            assignment[s.span_id] = len(lanes) - 1
+    return assignment
+
+
+def chrome_trace(spans, metrics: dict | None = None) -> dict:
+    """Spans as a Chrome trace-event document (``ph: "X"`` slices).
+
+    Timestamps are microseconds relative to the earliest span, so traces
+    open zoomed to the run rather than to the Unix epoch. ``metrics``
+    (e.g. ``MetricRegistry.as_dict()``) is attached under ``metadata``.
+    """
+    spans = _as_spans(spans)
+    lanes = _assign_lanes(spans)
+    t0 = min((s.t_start for s in spans), default=0.0)
+    events = []
+    for s in spans:
+        end = s.t_end if s.t_end is not None else s.t_start
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s.t_start - t0) * 1e6,
+                "dur": max(end - s.t_start, 0.0) * 1e6,
+                "pid": s.pid,
+                "tid": lanes[s.span_id],
+                "args": {
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    **s.attrs,
+                },
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics:
+        doc["metadata"] = {"metrics": metrics}
+    return doc
+
+
+def write_chrome_trace(spans, path, metrics: dict | None = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(spans, metrics=metrics), default=float) + "\n"
+    )
+    return path
+
+
+def span_tree(spans, max_lines: int = 200) -> str:
+    """The parent/child tree, one line per span with duration and attrs."""
+    spans = _as_spans(spans)
+    if not spans:
+        return "(no spans)"
+    by_id = {s.span_id: s for s in spans}
+    children: dict[str | None, list[Span]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in by_id else None
+        children.setdefault(parent, []).append(s)
+    for sibs in children.values():
+        sibs.sort(key=lambda s: s.t_start)
+
+    lines: list[str] = []
+
+    def fmt(s: Span) -> str:
+        attrs = ""
+        if s.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in s.attrs.items())
+            attrs = f"  [{inner}]"
+        return f"{s.name}  {s.duration_ms:.3f} ms{attrs}"
+
+    def walk(parent: str | None, prefix: str) -> None:
+        sibs = children.get(parent, [])
+        for i, s in enumerate(sibs):
+            if len(lines) >= max_lines:
+                return
+            last = i == len(sibs) - 1
+            branch = "`-- " if last else "|-- "
+            lines.append(prefix + branch + fmt(s))
+            walk(s.span_id, prefix + ("    " if last else "|   "))
+
+    walk(None, "")
+    if len(lines) >= max_lines:
+        lines.append(f"... ({len(spans)} spans total, tree truncated)")
+    return "\n".join(lines)
+
+
+def summary_table(spans) -> str:
+    """Per-span-name duration stats as an ASCII table (``repro.viz``)."""
+    from ..viz import format_table
+
+    spans = _as_spans(spans)
+    stats: dict[str, list[float]] = {}
+    for s in spans:
+        stats.setdefault(s.name, []).append(s.duration_ms)
+    rows = []
+    for name in sorted(stats):
+        ds = sorted(stats[name])
+        n = len(ds)
+        rows.append(
+            (
+                name,
+                n,
+                round(sum(ds), 3),
+                round(sum(ds) / n, 3),
+                round(ds[max(0, int(0.99 * n) - 1)], 3),
+                round(ds[-1], 3),
+            )
+        )
+    return format_table(
+        ("span", "count", "total ms", "mean ms", "p99 ms", "max ms"),
+        rows,
+        title="span summary",
+    )
+
+
+def write_trace_artifacts(
+    spans, out_dir, stem: str = "trace", metrics: dict | None = None
+) -> dict[str, Path]:
+    """Write the full artifact set for one traced run.
+
+    ``<stem>.chrome.json`` (Perfetto-loadable), ``<stem>.jsonl`` (raw
+    spans), and — when ``metrics`` is given — ``<stem>.metrics.json``.
+    Returns ``{kind: path}``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "chrome": write_chrome_trace(
+            spans, out_dir / f"{stem}.chrome.json", metrics=metrics
+        ),
+        "jsonl": write_jsonl(spans, out_dir / f"{stem}.jsonl"),
+    }
+    if metrics is not None:
+        mpath = out_dir / f"{stem}.metrics.json"
+        mpath.write_text(json.dumps(metrics, indent=2, default=float) + "\n")
+        paths["metrics"] = mpath
+    return paths

@@ -46,10 +46,19 @@ def simulated_budget_probe(
     of the same batch protocol.
     """
     from ..fastsim import run_replications
+    from ..obs.metrics import get_metrics
+    from ..obs.trace import get_tracer
 
     eval_seeds = list(eval_seeds)
 
     def evaluate(budget: float) -> float:
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One counter tick per *candidate budget actually evaluated*
+            # (the search's dedupe memo never reaches this function), so
+            # a trace shows how much probing the search really spent.
+            get_metrics().counter("optimize.budget_evaluations").inc()
+            tracer.event("optimize.budget_probe", budget=float(budget))
         if budget <= 0.0:
             return baseline_latency
         policy = fit_singler_protocol(

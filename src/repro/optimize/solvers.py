@@ -33,6 +33,8 @@ from ..core.correlated import compute_optimal_singler_correlated
 from ..core.optimizer import fit_singled_policy
 from ..core.policies import NoReissue, SingleD, SingleR
 from ..distributions.base import RngLike, as_rng
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..registry import Registry
 from .request import FitRequest, FitResult
 from .vectorized import (
@@ -53,10 +55,28 @@ def solver_names() -> list[str]:
 
 
 def solve(request: FitRequest, solver: str = "empirical") -> FitResult:
-    """Dispatch one fit request to a registered solver."""
+    """Dispatch one fit request to a registered solver.
+
+    Under tracing every fit gets a span carrying the solver kind, policy
+    family, and objective, and the ``optimize.fits`` counter ticks — so
+    a trace of an adaptive run shows exactly which refits ran and how
+    long each took.
+    """
     from . import budget  # noqa: F401  (registers the budget strategies)
 
-    return SOLVERS.get(solver).factory(request)
+    factory = SOLVERS.get(solver).factory
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return factory(request)
+    with tracer.span(
+        "optimize.solve",
+        solver=solver,
+        family=request.family,
+        percentile=request.percentile,
+        budget=request.budget,
+    ):
+        get_metrics().counter("optimize.fits").inc()
+        return factory(request)
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +307,14 @@ def fit_singler_grid(
     from ..core.adaptive import AdaptiveResult, AdaptiveSingleROptimizer
     from ..fastsim import run_policy_batch
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "optimize.grid_fit",
+            n_budgets=len(list(budgets)),
+            trials=trials,
+            percentile=percentile,
+        )
     if seed is None or isinstance(seed, np.random.Generator):
         raise ValueError(
             "fit_singler_grid needs a stateless seed (int or "

@@ -13,6 +13,13 @@ Design notes (per the HPC guides):
   lambdas/closures rather than a cryptic pickle failure inside the pool.
 * **Fallback to serial.** ``n_workers=1`` (or pools unavailable in the
   host environment) runs inline — useful under pytest and debuggers.
+* **Observability hand-off.** When tracing is enabled
+  (:mod:`repro.obs`), the parent snapshots its trace context, ships it
+  with each task, and workers return their span buffers and metric
+  registries inside the :class:`SweepResult`; the parent re-absorbs
+  them, so parent/child span ids survive the pool exactly as if the
+  work had run inline. With tracing off (the default) nothing extra is
+  captured, shipped, or allocated.
 """
 
 from __future__ import annotations
@@ -23,6 +30,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
+
+from ..obs.metrics import get_metrics, metrics_scope
+from ..obs.trace import absorb, get_tracer, remote_context, snapshot_context
 
 
 @dataclass(frozen=True)
@@ -39,11 +49,18 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """The outcome of one sweep point (``error`` set if the point raised)."""
+    """The outcome of one sweep point (``error`` set if the point raised).
+
+    ``spans``/``metrics`` are the worker-side observability buffers in
+    transit back to the parent; both are drained to ``None`` before the
+    result reaches the caller.
+    """
 
     key: str
     value: Any = None
     error: str | None = None
+    spans: tuple | None = None
+    metrics: Any = None
 
     @property
     def ok(self) -> bool:
@@ -61,7 +78,7 @@ def seed_for(base_seed: int, key: str) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy)
 
 
-def _run_point(
+def _eval_point(
     fn: Callable[..., Any], point: SweepPoint, base_seed: int
 ) -> SweepResult:
     rng = np.random.default_rng(seed_for(base_seed, point.key))
@@ -71,8 +88,34 @@ def _run_point(
         return SweepResult(key=point.key, error=f"{type(exc).__name__}: {exc}")
 
 
+def _run_point(
+    fn: Callable[..., Any],
+    point: SweepPoint,
+    base_seed: int,
+    obs_ctx: dict | None = None,
+) -> SweepResult:
+    if obs_ctx is not None:
+        # Pool worker under tracing: buffer spans/metrics locally and
+        # ship them home inside the result.
+        with remote_context(obs_ctx) as tracer, metrics_scope() as registry:
+            with tracer.span("sweep.point", key=point.key):
+                result = _eval_point(fn, point, base_seed)
+            result.spans = tuple(s.as_dict() for s in tracer.drain())
+            if len(registry):
+                result.metrics = registry
+        return result
+    tracer = get_tracer()
+    if tracer.enabled:  # in-process: spans flow straight into the tracer
+        with tracer.span("sweep.point", key=point.key):
+            return _eval_point(fn, point, base_seed)
+    return _eval_point(fn, point, base_seed)
+
+
 def _run_chunk(
-    fn: Callable[..., Any], chunk: Sequence[SweepPoint], base_seed: int
+    fn: Callable[..., Any],
+    chunk: Sequence[SweepPoint],
+    base_seed: int,
+    obs_ctx: dict | None = None,
 ) -> list[SweepResult]:
     """Worker-side batch: evaluate a whole chunk of points in-process.
 
@@ -81,7 +124,30 @@ def _run_chunk(
     process dispatch and lets workers reuse warm state (imports, numpy
     buffers) across replications.
     """
-    return [_run_point(fn, p, base_seed) for p in chunk]
+    if obs_ctx is None:
+        return [_eval_point(fn, p, base_seed) for p in chunk]
+    out: list[SweepResult] = []
+    with remote_context(obs_ctx) as tracer, metrics_scope() as registry:
+        for p in chunk:
+            with tracer.span("sweep.point", key=p.key):
+                result = _eval_point(fn, p, base_seed)
+            result.spans = tuple(s.as_dict() for s in tracer.drain())
+            out.append(result)
+        if out and len(registry):
+            out[-1].metrics = registry
+    return out
+
+
+def _harvest(results: list[SweepResult]) -> list[SweepResult]:
+    """Parent-side: re-absorb worker span buffers and metric registries."""
+    for r in results:
+        if r.spans:
+            absorb(r.spans)
+            r.spans = None
+        if r.metrics is not None:
+            get_metrics().merge(r.metrics)
+            r.metrics = None
+    return results
 
 
 def run_sweep(
@@ -154,16 +220,20 @@ def _dispatch(
     base_seed: int,
     chunk_size: int,
 ) -> list[SweepResult]:
+    obs_ctx = snapshot_context()  # None unless tracing is enabled
     if chunk_size <= 1:
-        futures = [pool.submit(_run_point, fn, p, base_seed) for p in points]
-        return [f.result() for f in futures]
+        futures = [
+            pool.submit(_run_point, fn, p, base_seed, obs_ctx) for p in points
+        ]
+        return _harvest([f.result() for f in futures])
     chunks = [
         points[i : i + chunk_size] for i in range(0, len(points), chunk_size)
     ]
     futures = [
-        pool.submit(_run_chunk, fn, chunk, base_seed) for chunk in chunks
+        pool.submit(_run_chunk, fn, chunk, base_seed, obs_ctx)
+        for chunk in chunks
     ]
-    return [result for f in futures for result in f.result()]
+    return _harvest([result for f in futures for result in f.result()])
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..parallel.sweep import Job, run_jobs
 from .cache import ResultCache
 from .cells import evaluate_replication, evaluate_replications
@@ -35,7 +37,13 @@ _PENDING = object()
 
 @dataclass
 class ExecutionReport:
-    """What the pipeline actually did — attached to the figure's meta."""
+    """What the pipeline actually did — attached to the figure's meta.
+
+    ``wave_stats`` breaks the aggregate counters down per wave (cells,
+    cache hits/misses, jobs, batches, deduped cells) so callers — the
+    ``repro run`` report in particular — can show where the cache
+    actually earned its keep instead of swallowing the numbers.
+    """
 
     workers: int = 1
     n_waves: int = 0
@@ -47,6 +55,7 @@ class ExecutionReport:
     cache_writes: int = 0
     wall_s: float = 0.0
     plan: dict = field(default_factory=dict)
+    wave_stats: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -59,6 +68,7 @@ class ExecutionReport:
             "cache_misses": self.cache_misses,
             "cache_writes": self.cache_writes,
             "wall_s": round(self.wall_s, 3),
+            "per_wave": [dict(w) for w in self.wave_stats],
             **self.plan,
         }
 
@@ -87,8 +97,14 @@ def execute_plan(
     # wave): workers keep their warm state — imports, memoized systems —
     # across waves instead of paying startup per wave.
     pool_holder: list[ProcessPoolExecutor | None] = [None]
+    tracer = get_tracer()
     try:
-        _execute_waves(plan, report, values, cache, pool_holder)
+        with tracer.span(
+            "pipeline.execute",
+            experiment=plan.spec.experiment_id,
+            workers=report.workers,
+        ):
+            _execute_waves(plan, report, values, cache, pool_holder)
     finally:
         if pool_holder[0] is not None:
             pool_holder[0].shutdown()
@@ -104,94 +120,150 @@ def _execute_waves(
     cache: ResultCache | None,
     pool_holder: list,
 ) -> None:
+    tracer = get_tracer()
     for wave in plan.waves:
         report.n_waves += 1
-        pending: list[tuple[str, dict]] = []
-        for key in wave:
-            fp = plan.fingerprints[key]
-            kwargs = _resolve(plan.cells[key], values, plan.aliases)
-            if cache is not None:
-                hit = cache.get(fp, _PENDING)
-                if hit is not _PENDING:
-                    values[key] = hit
-                    report.cache_hits += 1
-                    continue
-                report.cache_misses += 1
-            pending.append((key, kwargs))
-        if not pending:
-            continue
-
-        # Group ready evaluation replications by (system, policy, measures)
-        # so batch-capable systems run all seeds in one fastsim call.
-        jobs: list[Job] = []
-        scatter: dict[str, list[str]] = {}  # job key -> cell keys (in order)
-        groups: dict[str, str] = {}  # group fingerprint -> job key
-        group_kwargs: dict[str, dict] = {}
-        for key, kwargs in pending:
-            cell = plan.cells[key]
-            if cell.kind == "eval" and cell.fn is evaluate_replication:
-                gfp = fingerprint(
-                    (
-                        kwargs["system"],
-                        kwargs["policy"],
-                        kwargs["percentiles"],
-                        kwargs["measure"],
-                    )
-                )
-                job_key = groups.get(gfp)
-                if job_key is None:
-                    job_key = f"batch/{len(groups)}"
-                    groups[gfp] = job_key
-                    group_kwargs[job_key] = {
-                        "system": kwargs["system"],
-                        "policy": kwargs["policy"],
-                        "seeds": [],
-                        "percentiles": kwargs["percentiles"],
-                        "measure": kwargs["measure"],
-                    }
-                    scatter[job_key] = []
-                group_kwargs[job_key]["seeds"].append(kwargs["seed"])
-                scatter[job_key].append(key)
-            else:
-                jobs.append(Job(key=f"cell/{key}", fn=cell.fn, kwargs=kwargs))
-                scatter[f"cell/{key}"] = [key]
-        for job_key, kw in group_kwargs.items():
-            kw["seeds"] = tuple(kw["seeds"])
-            jobs.append(Job(key=job_key, fn=evaluate_replications, kwargs=kw))
-            report.n_batches += 1
-            report.n_batched_cells += len(scatter[job_key])
-        report.n_jobs += len(jobs)
-
-        if report.workers > 1 and len(jobs) > 1:
-            if pool_holder[0] is None:
-                pool_holder[0] = ProcessPoolExecutor(max_workers=report.workers)
-            chunk = 1 if len(jobs) <= 4 * report.workers else None
-            outcomes = run_jobs(
-                jobs,
-                n_workers=report.workers,
-                chunk_size=chunk,
-                pool=pool_holder[0],
+        before = (
+            report.cache_hits,
+            report.cache_misses,
+            report.n_jobs,
+            report.n_batches,
+            report.n_batched_cells,
+        )
+        with tracer.span(
+            "pipeline.wave", wave=report.n_waves, cells=len(wave)
+        ) as wave_span:
+            _execute_wave(plan, wave, report, values, cache, pool_holder, tracer)
+            hits = report.cache_hits - before[0]
+            misses = report.cache_misses - before[1]
+            jobs = report.n_jobs - before[2]
+            batches = report.n_batches - before[3]
+            batched = report.n_batched_cells - before[4]
+            deduped = max(batched - batches, 0)
+            wave_span.attrs.update(
+                cache_hits=hits, cache_misses=misses, jobs=jobs, deduped=deduped
             )
-            failed = [r for r in outcomes if not r.ok]
-            if failed:
-                detail = "; ".join(f"{r.key}: {r.error}" for r in failed[:5])
-                raise RuntimeError(
-                    f"{plan.spec.experiment_id}: {len(failed)} pipeline "
-                    f"cell(s) failed: {detail}"
-                )
-            out_by_key = {r.key: r.value for r in outcomes}
-        else:
-            out_by_key = {job.key: job.fn(**dict(job.kwargs)) for job in jobs}
+        report.wave_stats.append(
+            {
+                "wave": report.n_waves,
+                "cells": len(wave),
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "jobs": jobs,
+                "batches": batches,
+                "deduped_cells": deduped,
+            }
+        )
+        if tracer.enabled:
+            metrics = get_metrics()
+            metrics.counter("pipeline.cache.hits").inc(hits)
+            metrics.counter("pipeline.cache.misses").inc(misses)
+            metrics.counter("pipeline.jobs").inc(jobs)
+            metrics.counter("pipeline.deduped_cells").inc(deduped)
 
+
+def _execute_wave(
+    plan: Plan,
+    wave,
+    report: ExecutionReport,
+    values: dict[str, Any],
+    cache: ResultCache | None,
+    pool_holder: list,
+    tracer,
+) -> None:
+    pending: list[tuple[str, dict]] = []
+    for key in wave:
+        fp = plan.fingerprints[key]
+        kwargs = _resolve(plan.cells[key], values, plan.aliases)
+        if cache is not None:
+            hit = cache.get(fp, _PENDING)
+            if hit is not _PENDING:
+                values[key] = hit
+                report.cache_hits += 1
+                continue
+            report.cache_misses += 1
+        pending.append((key, kwargs))
+    if not pending:
+        return
+
+    # Group ready evaluation replications by (system, policy, measures)
+    # so batch-capable systems run all seeds in one fastsim call.
+    jobs: list[Job] = []
+    scatter: dict[str, list[str]] = {}  # job key -> cell keys (in order)
+    groups: dict[str, str] = {}  # group fingerprint -> job key
+    group_kwargs: dict[str, dict] = {}
+    for key, kwargs in pending:
+        cell = plan.cells[key]
+        if cell.kind == "eval" and cell.fn is evaluate_replication:
+            gfp = fingerprint(
+                (
+                    kwargs["system"],
+                    kwargs["policy"],
+                    kwargs["percentiles"],
+                    kwargs["measure"],
+                )
+            )
+            job_key = groups.get(gfp)
+            if job_key is None:
+                job_key = f"batch/{len(groups)}"
+                groups[gfp] = job_key
+                group_kwargs[job_key] = {
+                    "system": kwargs["system"],
+                    "policy": kwargs["policy"],
+                    "seeds": [],
+                    "percentiles": kwargs["percentiles"],
+                    "measure": kwargs["measure"],
+                }
+                scatter[job_key] = []
+            group_kwargs[job_key]["seeds"].append(kwargs["seed"])
+            scatter[job_key].append(key)
+        else:
+            jobs.append(Job(key=f"cell/{key}", fn=cell.fn, kwargs=kwargs))
+            scatter[f"cell/{key}"] = [key]
+    for job_key, kw in group_kwargs.items():
+        kw["seeds"] = tuple(kw["seeds"])
+        jobs.append(Job(key=job_key, fn=evaluate_replications, kwargs=kw))
+        report.n_batches += 1
+        report.n_batched_cells += len(scatter[job_key])
+    report.n_jobs += len(jobs)
+
+    if report.workers > 1 and len(jobs) > 1:
+        if pool_holder[0] is None:
+            pool_holder[0] = ProcessPoolExecutor(max_workers=report.workers)
+        chunk = 1 if len(jobs) <= 4 * report.workers else None
+        # run_jobs ships the trace context to the workers and re-absorbs
+        # their span buffers, so parallel cells trace like serial ones.
+        outcomes = run_jobs(
+            jobs,
+            n_workers=report.workers,
+            chunk_size=chunk,
+            pool=pool_holder[0],
+        )
+        failed = [r for r in outcomes if not r.ok]
+        if failed:
+            detail = "; ".join(f"{r.key}: {r.error}" for r in failed[:5])
+            raise RuntimeError(
+                f"{plan.spec.experiment_id}: {len(failed)} pipeline "
+                f"cell(s) failed: {detail}"
+            )
+        out_by_key = {r.key: r.value for r in outcomes}
+    elif tracer.enabled:
+        out_by_key = {}
         for job in jobs:
-            cell_keys = scatter[job.key]
-            value = out_by_key[job.key]
-            per_cell = value if job.key.startswith("batch/") else [value]
-            for cell_key, cell_value in zip(cell_keys, per_cell):
-                values[cell_key] = cell_value
-                if cache is not None:
-                    cache.put(plan.fingerprints[cell_key], cell_value)
-                    report.cache_writes += 1
+            with tracer.span("pipeline.cell", key=job.key):
+                out_by_key[job.key] = job.fn(**dict(job.kwargs))
+    else:
+        out_by_key = {job.key: job.fn(**dict(job.kwargs)) for job in jobs}
+
+    for job in jobs:
+        cell_keys = scatter[job.key]
+        value = out_by_key[job.key]
+        per_cell = value if job.key.startswith("batch/") else [value]
+        for cell_key, cell_value in zip(cell_keys, per_cell):
+            values[cell_key] = cell_value
+            if cache is not None:
+                cache.put(plan.fingerprints[cell_key], cell_value)
+                report.cache_writes += 1
 
 
 def run_pipeline(

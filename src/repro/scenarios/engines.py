@@ -128,6 +128,14 @@ class ScenarioReport:
         if obj.sla_ms is not None:
             out["sla_ms"] = obj.sla_ms
             out["sla_met"] = self.sla_met
+        if self.meta.get("pipeline"):
+            pipe = self.meta["pipeline"]
+            out["pipeline"] = {
+                "cache_hits": pipe.get("cache_hits", 0),
+                "cache_misses": pipe.get("cache_misses", 0),
+                "cache_writes": pipe.get("cache_writes", 0),
+                "per_wave": pipe.get("per_wave", []),
+            }
         return out
 
     def render(self) -> str:
@@ -147,6 +155,24 @@ class ScenarioReport:
             lines.append(
                 f"  SLA {obj.sla_ms:g} ms           {verdict:>10s}"
             )
+        pipe = self.meta.get("pipeline")
+        if pipe:
+            # The executor's cache story, previously swallowed: where
+            # each wave's cells came from (cache vs fresh vs deduped).
+            lines.append(
+                f"  pipeline cache       "
+                f"hits {pipe.get('cache_hits', 0)}  "
+                f"misses {pipe.get('cache_misses', 0)}  "
+                f"writes {pipe.get('cache_writes', 0)}"
+            )
+            for w in pipe.get("per_wave", []):
+                lines.append(
+                    f"    wave {w['wave']:<3d}"
+                    f"cells {w['cells']:<5d}"
+                    f"hits {w['cache_hits']:<5d}"
+                    f"misses {w['cache_misses']:<5d}"
+                    f"deduped {w['deduped_cells']}"
+                )
         return "\n".join(lines)
 
 

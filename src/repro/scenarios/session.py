@@ -19,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping
 
+from ..obs.trace import get_tracer
 from .engines import ENGINES, ScenarioReport, _tag, engine_names
 from .model import Scenario
 
@@ -92,14 +93,27 @@ class Session:
         return options
 
     def run(self, scenario, *, seeds=None) -> ScenarioReport:
-        """Execute ``scenario``; ``seeds`` overrides its scale's seeds."""
+        """Execute ``scenario``; ``seeds`` overrides its scale's seeds.
+
+        Under tracing (:mod:`repro.obs`) every run gets one root span —
+        ``scenario.run`` with the scenario name, engine, and seed count —
+        so traces from all four engines hang off the same shape of root
+        and are directly comparable.
+        """
         scenario = coerce_scenario(scenario).check()
         run_seeds = tuple(
             int(s) for s in (seeds if seeds is not None else scenario.scale.seeds)
         )
         if not run_seeds:
             raise ValueError("need at least one evaluation seed")
-        out = ENGINES[self.engine](scenario, run_seeds, **self._options())
+        tracer = get_tracer()
+        with tracer.span(
+            "scenario.run",
+            scenario=scenario.name,
+            engine=self.engine,
+            n_seeds=len(run_seeds),
+        ):
+            out = ENGINES[self.engine](scenario, run_seeds, **self._options())
         runs, extra_meta = out if isinstance(out, tuple) else (out, {})
         return ScenarioReport(
             scenario=scenario,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from ..core.policies import NoReissue, ReissuePolicy
 from ..distributions.base import RngLike, as_rng
+from ..obs.trace import get_tracer
 from .backends import AsyncBackend, BackendResponse
 from .metrics import ServingMetrics
 
@@ -128,7 +129,34 @@ class HedgedClient:
 
     # -- request path -------------------------------------------------------
     async def request(self, query_id: int) -> RequestOutcome:
-        """Serve one request end to end (admission → race → telemetry)."""
+        """Serve one request end to end (admission → race → telemetry).
+
+        Under tracing (:mod:`repro.obs`) each request gets a span whose
+        children are its primary/reissue attempts and cancellations,
+        with the race outcome recorded as attributes — the per-request
+        story behind a p99.9 spike.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            outcome = await self._admit_and_serve(query_id)
+        else:
+            with tracer.span("serving.request", query_id=query_id) as span:
+                outcome = await self._admit_and_serve(query_id)
+                span.attrs.update(
+                    winner=outcome.winner,
+                    latency_ms=round(outcome.latency_ms, 3),
+                    n_planned=outcome.n_planned,
+                    n_reissues=outcome.n_reissues,
+                    cancelled_attempts=outcome.cancelled_attempts,
+                    deadline_exceeded=outcome.deadline_exceeded,
+                    probe=outcome.pair is not None,
+                )
+        self.metrics.record(outcome)
+        if self.tuner is not None:
+            self.tuner.record(outcome)
+        return outcome
+
+    async def _admit_and_serve(self, query_id: int) -> RequestOutcome:
         async with self._sem:
             self.in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
@@ -138,16 +166,11 @@ class HedgedClient:
                     and self._rng.random() < self.probe_fraction
                 )
                 if is_probe:
-                    outcome = await self._probe(query_id)
-                else:
-                    plan = tuple(sorted(self.policy.draw_plan(self._rng)))
-                    outcome = await self._race(query_id, plan)
+                    return await self._probe(query_id)
+                plan = tuple(sorted(self.policy.draw_plan(self._rng)))
+                return await self._race(query_id, plan)
             finally:
                 self.in_flight -= 1
-        self.metrics.record(outcome)
-        if self.tuner is not None:
-            self.tuner.record(outcome)
-        return outcome
 
     async def serve(
         self,
@@ -201,11 +224,15 @@ class HedgedClient:
             else t0 + self.deadline_ms * scale
         )
         offsets: dict[asyncio.Task, float] = {}
+        tracer = get_tracer()
 
         def launch(offset: float, is_reissue: bool) -> None:
-            task = asyncio.create_task(
-                self.backend.request(query_id, is_reissue=is_reissue)
-            )
+            coro = self.backend.request(query_id, is_reissue=is_reissue)
+            if tracer.enabled:
+                # create_task copies the current context, so the attempt
+                # span opens as a child of this request's span.
+                coro = self._traced_attempt(tracer, coro, is_reissue, offset)
+            task = asyncio.create_task(coro)
             offsets[task] = offset
             pending.add(task)
 
@@ -296,9 +323,15 @@ class HedgedClient:
         fastest attempt misses the deadline is recorded at the deadline
         latency and counted as a miss, like any other request.
         """
+        tracer = get_tracer()
+        coro_primary = self.backend.request(query_id)
+        coro_duplicate = self.backend.request(query_id, is_reissue=True)
+        if tracer.enabled:
+            coro_primary = self._traced_attempt(tracer, coro_primary, False, 0.0)
+            coro_duplicate = self._traced_attempt(tracer, coro_duplicate, True, 0.0)
         primary, duplicate = await asyncio.gather(
-            self.backend.request(query_id),
-            self.backend.request(query_id, is_reissue=True),
+            coro_primary,
+            coro_duplicate,
             return_exceptions=True,
         )
         for attempt in (primary, duplicate):
@@ -336,6 +369,20 @@ class HedgedClient:
         )
 
     @staticmethod
+    async def _traced_attempt(tracer, coro, is_reissue: bool, offset: float):
+        """One backend attempt under a span; cancellation is recorded,
+        not swallowed (the span closes with ``cancelled=True``)."""
+        name = "serving.attempt.reissue" if is_reissue else "serving.attempt.primary"
+        with tracer.span(name, offset_ms=offset) as span:
+            try:
+                resp = await coro
+            except asyncio.CancelledError:
+                span.attrs["cancelled"] = True
+                raise
+            span.attrs["latency_ms"] = round(resp.latency_ms, 3)
+            return resp
+
+    @staticmethod
     async def _cancel_losers(pending) -> int:
         """Cancel every still-outstanding attempt; returns how many were
         cancelled (reaped before returning, so backend in-flight counts
@@ -344,5 +391,8 @@ class HedgedClient:
         for t in losers:
             t.cancel()
         if losers:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("serving.cancel", n_attempts=len(losers))
             await asyncio.gather(*losers, return_exceptions=True)
         return len(losers)

@@ -153,3 +153,35 @@ class ServingMetrics:
     def merge_digest(self, other: "ServingMetrics") -> TDigest:
         """Merged latency digest across two clients (e.g. two shards)."""
         return self.digest.merge(other.digest)
+
+    def merge(self, other: "ServingMetrics") -> "ServingMetrics":
+        """A new ``ServingMetrics`` combining two shards' telemetry.
+
+        Counters add exactly: the merged object's ``completed``,
+        ``reissues_sent``, wins, cancellations, misses, and probes equal
+        a single client that served both streams. The latency digest is
+        the t-digest merge, so ``quantile()`` matches a single client
+        that saw the combined stream within the sketch's tolerance at
+        the default compression — about 1% relative error through the
+        99th percentile, a few percent at p999 where centroid weights
+        thin out (the cross-shard test pins both bounds). The O(1) P²
+        markers are *not*
+        mergeable; the union of watched percentiles is re-registered
+        with fresh sketches that warm up from subsequent traffic, so use
+        ``quantile()`` (not ``fast_quantile()``) on merged history.
+        """
+        out = ServingMetrics(
+            percentiles=sorted(set(self._p2) | set(other._p2)),
+            compression=max(self.digest.compression, other.digest.compression),
+        )
+        out.digest = self.digest.merge(other.digest)
+        for name in (
+            "completed",
+            "reissues_sent",
+            "reissue_wins",
+            "cancelled_attempts",
+            "deadline_exceeded",
+            "probes",
+        ):
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        return out

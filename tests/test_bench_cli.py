@@ -1,0 +1,217 @@
+"""Tests for repro.bench and the ``repro bench`` regression gate."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.main import main
+
+
+def record(**metrics):
+    return {
+        "version": bench.HISTORY_VERSION,
+        "recorded_unix": 0,
+        "python": "3.x",
+        "machine": "test",
+        "metrics": metrics,
+    }
+
+
+def write_history(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TestGate:
+    def test_first_record_cannot_regress(self):
+        report = bench.check_regressions([record(m=5.0)])
+        assert report.ok
+        assert report.skipped == ["m"]
+        assert report.checked == []
+
+    def test_within_threshold_passes(self):
+        history = [record(m=5.0), record(m=5.0), record(m=4.1)]
+        report = bench.check_regressions(history)
+        assert report.ok
+        assert report.checked == ["m"]
+
+    def test_regression_past_threshold_fails(self):
+        history = [record(m=5.0), record(m=5.0), record(m=3.9)]
+        report = bench.check_regressions(history)
+        assert not report.ok
+        (reg,) = report.regressions
+        assert reg.metric == "m"
+        assert reg.baseline == 5.0
+        assert reg.drop == pytest.approx(0.22)
+        assert "below" in reg.describe()
+
+    def test_baseline_is_median_of_window(self):
+        # Seven prior records, but only the last five form the baseline:
+        # median(4.0, 4.0, 6.0, 6.0, 6.0) = 6.0, so 4.5 is a 25% drop.
+        history = [
+            record(m=100.0),
+            record(m=100.0),
+            record(m=4.0),
+            record(m=4.0),
+            record(m=6.0),
+            record(m=6.0),
+            record(m=6.0),
+            record(m=4.5),
+        ]
+        report = bench.check_regressions(history)
+        (reg,) = report.regressions
+        assert reg.baseline == 6.0
+
+    def test_new_metric_mid_history_is_skipped(self):
+        history = [record(old=2.0), record(old=2.0, new=9.0)]
+        report = bench.check_regressions(history)
+        assert report.ok
+        assert report.skipped == ["new"]
+        assert report.checked == ["old"]
+
+    def test_empty_history(self):
+        assert bench.check_regressions([]).ok
+
+
+class TestHistoryFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        bench.append_history(path, record(m=1.0))
+        bench.append_history(path, record(m=2.0))
+        history = bench.load_history(path)
+        assert [r["metrics"]["m"] for r in history] == [1.0, 2.0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert bench.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps(record(m=1.0)) + "\nnot json\n")
+        with pytest.raises(ValueError, match=r"h\.jsonl:2"):
+            bench.load_history(path)
+
+    def test_record_without_metrics_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"recorded_unix": 0}\n')
+        with pytest.raises(ValueError, match="metrics"):
+            bench.load_history(path)
+
+
+class TestRendering:
+    def test_trend_needs_two_records(self):
+        assert "no trend yet" in bench.render_trend([record(m=1.0)])
+
+    def test_trend_chart(self):
+        text = bench.render_trend([record(m=1.0), record(m=2.0), record(m=3.0)])
+        assert "speedup trajectory" in text
+        assert "m" in text
+
+    def test_record_table_from_metrics_only(self):
+        text = bench.render_record(record(m=2.5))
+        assert "repro bench" in text
+        assert "2.50x" in text
+
+
+class TestBenchCommand:
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        """Replace the timing suite with an instant deterministic one."""
+
+        def fake(name, speedup):
+            def run(repeats=2):
+                return {
+                    "metric": f"{name}.speedup",
+                    "baseline_s": 0.2,
+                    "optimized_s": 0.2 / speedup,
+                    "speedup": speedup,
+                    "detail": "synthetic",
+                }
+
+            return run
+
+        monkeypatch.setattr(
+            bench, "SUITE", {"alpha": fake("alpha", 4.0), "beta": fake("beta", 2.0)}
+        )
+
+    def test_run_appends_and_passes(self, tmp_path, capsys, fake_suite):
+        history = tmp_path / "h.jsonl"
+        assert main(["bench", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha.speedup" in out and "beta.speedup" in out
+        assert "no trend yet" in out
+        records = bench.load_history(history)
+        assert len(records) == 1
+        assert records[0]["metrics"] == {"alpha.speedup": 4.0, "beta.speedup": 2.0}
+        # A second run draws the trend and still passes.
+        assert main(["bench", "--history", str(history)]) == 0
+        assert "speedup trajectory" in capsys.readouterr().out
+        assert len(bench.load_history(history)) == 2
+
+    def test_only_selects_benches(self, tmp_path, capsys, fake_suite):
+        history = tmp_path / "h.jsonl"
+        assert main(["bench", "--history", str(history), "--only", "alpha"]) == 0
+        assert bench.load_history(history)[0]["metrics"] == {"alpha.speedup": 4.0}
+
+    def test_no_append_leaves_history_untouched(self, tmp_path, fake_suite):
+        history = tmp_path / "h.jsonl"
+        assert main(["bench", "--history", str(history), "--no-append"]) == 0
+        assert not history.exists()
+
+    def test_synthetic_regression_fails_nonzero(self, tmp_path, capsys):
+        # The acceptance check: inject a >20% drop into the history and
+        # the gate must exit non-zero.
+        history = write_history(
+            tmp_path / "h.jsonl",
+            [record(m=5.0), record(m=5.0), record(m=5.0), record(m=3.0)],
+        )
+        assert main(["bench", "--history", str(history), "--check-only"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "40% below" in out
+
+    def test_healthy_history_passes_check_only(self, tmp_path, capsys):
+        history = write_history(
+            tmp_path / "h.jsonl", [record(m=5.0), record(m=4.8)]
+        )
+        assert main(["bench", "--history", str(history), "--check-only"]) == 0
+        assert "gate ok" in capsys.readouterr().out
+
+    def test_check_only_without_history_errors(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert main(["bench", "--history", str(missing), "--check-only"]) == 2
+        assert "no history" in capsys.readouterr().err
+
+    def test_corrupt_history_errors(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        path.write_text("not json\n")
+        assert main(["bench", "--history", str(path), "--check-only"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys, fake_suite):
+        history = tmp_path / "h.jsonl"
+        assert main(["bench", "--history", str(history), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["record"]["metrics"]["alpha.speedup"] == 4.0
+        assert doc["history_records"] == 1
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        # A 10% drop passes the default gate but fails a 5% threshold.
+        history = write_history(
+            tmp_path / "h.jsonl", [record(m=5.0), record(m=4.5)]
+        )
+        args = ["bench", "--history", str(history), "--check-only"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--threshold", "0.05"]) == 1
+
+
+class TestRealSuiteSmoke:
+    def test_fastsim_bench_runs(self):
+        # One tiny real measurement proves the suite wiring end to end;
+        # no speed assertion — CI machines vary too much for that.
+        result = bench.bench_fastsim(n_queries=300, seeds=(101,), repeats=1)
+        assert result["metric"] == "fastsim.speedup_vs_reference"
+        assert result["speedup"] > 0
+        assert result["baseline_s"] > 0 and result["optimized_s"] > 0

@@ -121,3 +121,65 @@ class TestSnapshot:
         assert snap.completed == 0
         assert snap.quantiles == {}
         assert "requests completed" in snap.render()
+
+
+class TestCrossShardMerge:
+    def test_merge_equals_single_combined_client(self, rng):
+        # Two shards each serve half the traffic; merging their metrics
+        # must look like one client that served it all — counters exact,
+        # digest quantiles within the documented sketch tolerance (~1%
+        # through p99, a few percent at p999).
+        streams = (
+            rng.lognormal(3.0, 0.6, 4_000),
+            rng.lognormal(3.6, 0.8, 4_000),
+        )
+        shards = (ServingMetrics(), ServingMetrics())
+        combined = ServingMetrics()
+        for shard, stream in zip(shards, streams):
+            for i, latency in enumerate(stream):
+                out = outcome(
+                    latency=float(latency),
+                    winner="reissue" if i % 5 == 0 else "primary",
+                    n_reissues=1 if i % 3 == 0 else 0,
+                    cancelled=1 if i % 5 == 0 else 0,
+                    deadline=i % 97 == 0,
+                    pair=(1.0, 2.0) if i % 11 == 0 else None,
+                )
+                shard.record(out)
+                combined.record(out)
+        merged = shards[0].merge(shards[1])
+        for counter in (
+            "completed",
+            "reissues_sent",
+            "reissue_wins",
+            "cancelled_attempts",
+            "deadline_exceeded",
+            "probes",
+        ):
+            assert getattr(merged, counter) == getattr(combined, counter)
+        for p in (0.5, 0.9, 0.99):
+            assert merged.quantile(p) == pytest.approx(
+                combined.quantile(p), rel=0.01
+            )
+        assert merged.quantile(0.999) == pytest.approx(
+            combined.quantile(0.999), rel=0.05
+        )
+
+    def test_merge_leaves_shards_untouched(self, rng):
+        a, b = ServingMetrics(), ServingMetrics()
+        for x in rng.lognormal(3.0, 0.5, 500):
+            a.record_latency(float(x))
+        b.record(outcome(n_reissues=1, winner="reissue", cancelled=1))
+        before = (a.completed, a.quantile(0.5), b.reissue_wins)
+        a.merge(b)
+        assert (a.completed, a.quantile(0.5), b.reissue_wins) == before
+
+    def test_merge_unions_watched_percentiles(self):
+        a = ServingMetrics(percentiles=(0.5, 0.99))
+        b = ServingMetrics(percentiles=(0.9,))
+        merged = a.merge(b)
+        for x in range(1, 200):
+            merged.record_latency(float(x))
+        # Fresh P2 sketches for the union warm up from post-merge traffic.
+        for p in (0.5, 0.9, 0.99):
+            assert merged.fast_quantile(p) > 0
