@@ -15,7 +15,10 @@ implementation, both measured back to back in the same process —
   vs the paper's scalar two-pointer sweep
   (:func:`repro.core.optimizer.compute_optimal_singler`);
 * ``pipeline.speedup_resume_vs_cold`` — a warm, cache-hitting pipeline
-  run vs the same scenario executed cold.
+  run vs the same scenario executed cold;
+* ``serving.speedup_open_vs_serial`` — an open-loop load-generated
+  :class:`~repro.serving.fleet.ServingFleet` vs a one-user closed loop
+  over the same requests (the fleet's concurrency win).
 
 Each ``repro bench`` run appends one record to ``BENCH_history.jsonl``
 (the committed perf trajectory), renders the trend as an ASCII chart,
@@ -166,11 +169,70 @@ def bench_pipeline(scenario: str = "queueing-tail-quick", repeats: int = 2) -> d
     }
 
 
+def bench_serving(
+    n_requests: int = 400, n_shards: int = 2, repeats: int = 2
+) -> dict:
+    """Open-loop fleet vs a single-user closed loop, same request count.
+
+    The fleet's headline win is *concurrency*: an open-loop arrival
+    stream keeps every shard's event loop saturated, while a one-user
+    closed loop serializes the same requests end to end. Both sides run
+    the same scenario-shaped workload (LogNormal service times, SingleR
+    hedging) at the same ``time_scale``, so the ratio is dominated by
+    how much wall time the concurrent fleet reclaims from scaled
+    sleeps — stable across machines like the other ratio metrics.
+    """
+    import numpy as np
+
+    from .core.policies import SingleR
+    from .distributions import LogNormal
+    from .serving.backends import SyntheticBackend
+    from .serving.fleet import ServingFleet
+    from .serving.loadgen import LoadGenerator
+
+    time_scale = 2e-5
+    policy = SingleR(40.0, 0.1)
+
+    def build_fleet(seed: int) -> ServingFleet:
+        return ServingFleet.build(
+            n_shards,
+            lambda i, rng: SyntheticBackend(
+                LogNormal(3.0, 0.6), time_scale=time_scale, rng=rng
+            ),
+            policy=policy,
+            seed=seed,
+        )
+
+    def open_loop():
+        LoadGenerator(build_fleet(7), rng=np.random.default_rng(11)).run(
+            n_requests, mode="open", target_rps=0
+        )
+
+    def serial():
+        LoadGenerator(build_fleet(7), rng=np.random.default_rng(11)).run(
+            n_requests, mode="closed", concurrency=1
+        )
+
+    # Untimed warmup absorbs import and event-loop start-up costs.
+    LoadGenerator(build_fleet(1)).run(32, mode="open", target_rps=0)
+    LoadGenerator(build_fleet(1)).run(32, mode="closed", concurrency=1)
+    baseline_s = _best_of(serial, repeats)
+    optimized_s = _best_of(open_loop, repeats)
+    return {
+        "metric": "serving.speedup_open_vs_serial",
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "detail": f"{n_requests} requests x {n_shards} shards",
+    }
+
+
 #: name -> callable(repeats=...) -> result dict. Order is display order.
 SUITE: dict[str, Callable[..., dict]] = {
     "fastsim": bench_fastsim,
     "optimize": bench_optimize,
     "pipeline": bench_pipeline,
+    "serving": bench_serving,
 }
 
 
@@ -367,6 +429,7 @@ __all__ = [
     "bench_fastsim",
     "bench_optimize",
     "bench_pipeline",
+    "bench_serving",
     "check_regressions",
     "load_history",
     "render_record",

@@ -20,6 +20,7 @@ runtime — driven by the declarative Scenario API:
     repro figure list                    # paper figures (was repro-experiment)
     repro figure run fig3 --scale quick
     repro serve --backend drifting --policy auto   (was repro-serve)
+    repro loadgen --shards 2 --rps 20000  # sharded fleet under open-loop load
 
 ``repro-experiment`` and ``repro-serve`` remain as deprecated aliases of
 ``repro figure`` and ``repro serve``.
@@ -39,7 +40,14 @@ from .cli import (
     normalize_figure_argv,
     run_figure_command,
 )
-from .serving.cli import SERVE_DESCRIPTION, configure_serve_parser, run_serve_command
+from .serving.cli import (
+    LOADGEN_DESCRIPTION,
+    SERVE_DESCRIPTION,
+    configure_loadgen_parser,
+    configure_serve_parser,
+    run_loadgen_command,
+    run_serve_command,
+)
 
 
 def _parse_seeds(text: str) -> tuple[int, ...]:
@@ -653,6 +661,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_serve_parser(serve_p)
 
+    loadgen_p = sub.add_parser(
+        "loadgen",
+        help="drive a sharded serving fleet at a target RPS and record "
+        "BENCH_serving.json",
+        description=LOADGEN_DESCRIPTION,
+    )
+    configure_loadgen_parser(loadgen_p)
+
     return parser
 
 
@@ -680,6 +696,8 @@ def main(argv=None) -> int:
         return run_figure_command(args)
     if args.command == "serve":
         return run_serve_command(args)
+    if args.command == "loadgen":
+        return run_loadgen_command(args)
     raise AssertionError(args.command)  # pragma: no cover
 
 

@@ -298,8 +298,12 @@ class _RunsHolder:
 # ---------------------------------------------------------------------------
 
 
-def _serving_backend(scenario: Scenario, time_scale: float, rng):
-    """An async backend approximating the scenario's workload."""
+def serving_backend(scenario: Scenario, time_scale: float, rng):
+    """An async backend approximating the scenario's workload.
+
+    Public because the fleet load generator (``repro loadgen``) builds
+    one per shard from the same scenario the serving engine uses.
+    """
     kind = SYSTEMS.get(scenario.system.kind).metadata.get(
         "serving_backend", "synthetic"
     )
@@ -351,7 +355,7 @@ def run_serving(
     runs: list[RunResult] = []
     for seed in seeds:
         backend_seq, client_seq = np.random.SeedSequence(int(seed)).spawn(2)
-        backend = _serving_backend(
+        backend = serving_backend(
             scenario, time_scale, np.random.default_rng(backend_seq)
         )
         client = HedgedClient(

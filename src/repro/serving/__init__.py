@@ -18,6 +18,17 @@ pluggable asynchronous backends:
 * :mod:`~repro.serving.autotune` — feeds observed samples back into
   :class:`repro.core.online.OnlinePolicyController` so the running policy
   re-fits under drift.
+* :mod:`~repro.serving.fleet` — :class:`ServingFleet`: N shard workers
+  (each a :class:`HedgedClient`) behind a front-door router with
+  pluggable shard selection, per-shard admission control (load
+  shedding), and a shared :class:`PolicyStore` that propagates
+  :class:`AutoTuner` refits fleet-wide.
+* :mod:`~repro.serving.loadgen` — closed- vs open-loop
+  :class:`LoadGenerator` driving a fleet at a target RPS, plus the
+  committed ``BENCH_serving.json`` record schema.
+* :mod:`~repro.serving.chaos` — :class:`ChaosBackend` fault injection
+  (latency spikes, error bursts, blackouts, clock skew) for hardening
+  tests and degradation demos.
 * :mod:`~repro.serving.cli` — the ``repro-serve`` console entry point.
 """
 
@@ -32,21 +43,41 @@ from .backends import (
     SyntheticBackend,
     WorkloadBackend,
 )
+from .chaos import ChaosBackend, ChaosError
+from .fleet import (
+    SHARD_SELECTORS,
+    PolicyStore,
+    ServingFleet,
+    ShardWorker,
+    make_selector,
+)
 from .hedge import HedgedClient, RequestOutcome
+from .loadgen import LoadGenerator, LoadgenResult, as_record, validate_record
 from .metrics import MetricsSnapshot, ServingMetrics
 
 __all__ = [
     "AsyncBackend",
     "AutoTuner",
     "BackendResponse",
+    "ChaosBackend",
+    "ChaosError",
     "DriftingBackend",
     "HedgedClient",
+    "LoadGenerator",
+    "LoadgenResult",
     "MetricsSnapshot",
+    "PolicyStore",
     "RedisBackend",
     "RequestOutcome",
+    "SHARD_SELECTORS",
     "SearchBackend",
+    "ServingFleet",
     "ServingMetrics",
+    "ShardWorker",
     "SimulatedBackend",
     "SyntheticBackend",
     "WorkloadBackend",
+    "as_record",
+    "make_selector",
+    "validate_record",
 ]

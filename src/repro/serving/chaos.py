@@ -1,0 +1,160 @@
+"""Fault injection for the serving runtime.
+
+:class:`ChaosBackend` wraps any :class:`~repro.serving.backends.
+AsyncBackend` and injects the failure modes a real fleet meets — the
+modes the hedging policies exist to absorb:
+
+* **latency spikes** — a (probabilistic) multiplier/additive penalty on
+  the service time, realized as extra event-loop sleep so the wall-clock
+  race genuinely slows down, not just the reported number;
+* **error bursts** — the next *n* attempts raise :class:`ChaosError`
+  (a crashed replica; the hedge race drops failed attempts);
+* **blackouts** — attempts hang forever (a network partition; only the
+  request deadline or a winning sibling's cancellation ends them);
+* **clock skew** — a growing per-attempt offset added to *reported*
+  latency only (a shard whose monotonic clock drifts), which perturbs
+  telemetry without changing the race.
+
+Faults are mutable at runtime (``spike`` / ``error_burst`` /
+``blackout`` / ``skew`` / ``heal``), so a test can degrade one shard
+mid-stream and assert the fleet's p99 stays bounded. The wrapper is part
+of the library, not the test tree: ``repro loadgen --chaos`` uses it to
+demo single-shard degradation from the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+from ..distributions.base import RngLike, as_rng
+from .backends import AsyncBackend, BackendResponse
+
+
+class ChaosError(RuntimeError):
+    """An injected backend failure (stands in for a crashed replica)."""
+
+
+class ChaosBackend:
+    """Wrap ``inner`` and inject configurable faults into its attempts.
+
+    All fault state starts off; the wrapper is transparent until a fault
+    is armed. Faults compose: an attempt first checks blackout, then the
+    error burst, then serves through ``inner`` with any latency spike
+    and clock skew applied.
+    """
+
+    def __init__(self, inner: AsyncBackend, rng: RngLike = None):
+        self.inner = inner
+        self._rng = as_rng(rng)
+        # -- latency spike ---------------------------------------------------
+        self.spike_factor = 1.0
+        self.spike_add_ms = 0.0
+        self.spike_prob = 0.0
+        self.spike_primary_only = False
+        # -- error burst -------------------------------------------------------
+        self.error_burst_remaining = 0
+        # -- blackout ----------------------------------------------------------
+        self.blackout_active = False
+        # -- clock skew --------------------------------------------------------
+        self.skew_ms_per_request = 0.0
+        self._skew_accum_ms = 0.0
+        # -- accounting --------------------------------------------------------
+        self.requests_seen = 0
+        self.spiked = 0
+        self.errors_injected = 0
+        self.blackholed = 0
+
+    @property
+    def time_scale(self) -> float:
+        return self.inner.time_scale
+
+    # -- fault controls ------------------------------------------------------
+    def spike(
+        self,
+        factor: float = 1.0,
+        add_ms: float = 0.0,
+        prob: float = 1.0,
+        primary_only: bool = False,
+    ) -> None:
+        """Arm a latency spike: each affected attempt's service time
+        becomes ``latency * factor + add_ms``, hit with probability
+        ``prob`` (per attempt). ``primary_only`` spares reissues — the
+        "slow primary, healthy replica" regime hedging wins against."""
+        if factor < 1.0:
+            raise ValueError("spike factor must be >= 1")
+        if add_ms < 0.0:
+            raise ValueError("spike add_ms must be >= 0")
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("spike prob must be in [0, 1]")
+        self.spike_factor = float(factor)
+        self.spike_add_ms = float(add_ms)
+        self.spike_prob = float(prob)
+        self.spike_primary_only = bool(primary_only)
+
+    def error_burst(self, n: int) -> None:
+        """Fail the next ``n`` attempts with :class:`ChaosError`."""
+        if n < 0:
+            raise ValueError("error burst length must be >= 0")
+        self.error_burst_remaining = int(n)
+
+    def blackout(self) -> None:
+        """Hang every subsequent attempt until cancelled (partition)."""
+        self.blackout_active = True
+
+    def skew(self, ms_per_request: float) -> None:
+        """Arm clock skew: the k-th attempt after arming reports
+        ``k * ms_per_request`` extra latency (telemetry-only drift)."""
+        self.skew_ms_per_request = float(ms_per_request)
+        self._skew_accum_ms = 0.0
+
+    def heal(self) -> None:
+        """Clear every armed fault (accumulated skew included)."""
+        self.spike_factor = 1.0
+        self.spike_add_ms = 0.0
+        self.spike_prob = 0.0
+        self.spike_primary_only = False
+        self.error_burst_remaining = 0
+        self.blackout_active = False
+        self.skew_ms_per_request = 0.0
+        self._skew_accum_ms = 0.0
+
+    # -- AsyncBackend --------------------------------------------------------
+    async def request(
+        self, query_id: int, *, is_reissue: bool = False
+    ) -> BackendResponse:
+        self.requests_seen += 1
+        if self.blackout_active:
+            self.blackholed += 1
+            # A partitioned replica never answers; the awaiting task is
+            # ended only by cancellation (deadline or a sibling winning).
+            await asyncio.Event().wait()
+        if self.error_burst_remaining > 0:
+            self.error_burst_remaining -= 1
+            self.errors_injected += 1
+            raise ChaosError(
+                f"injected failure for query {query_id} "
+                f"({'reissue' if is_reissue else 'primary'})"
+            )
+        resp = await self.inner.request(query_id, is_reissue=is_reissue)
+        latency = resp.latency_ms
+        spike_applies = (
+            self.spike_prob > 0.0
+            and not (self.spike_primary_only and is_reissue)
+            and float(self._rng.random()) < self.spike_prob
+        )
+        if spike_applies:
+            extra = latency * (self.spike_factor - 1.0) + self.spike_add_ms
+            if extra > 0.0:
+                self.spiked += 1
+                # Realize the penalty on the wall clock too, so reissue
+                # timers genuinely fire while the spiked attempt drags.
+                if self.time_scale > 0.0:
+                    await asyncio.sleep(extra * self.time_scale)
+                latency += extra
+        if self.skew_ms_per_request != 0.0:
+            self._skew_accum_ms += self.skew_ms_per_request
+            latency = max(0.0, latency + self._skew_accum_ms)
+        if latency != resp.latency_ms:
+            resp = dataclasses.replace(resp, latency_ms=float(latency))
+        return resp

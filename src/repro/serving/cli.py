@@ -55,7 +55,12 @@ def build_backend(args, rng) -> object:
         return RedisBackend(time_scale=args.time_scale, rng=rng)
     if args.backend == "search":
         return SearchBackend(time_scale=args.time_scale, rng=rng)
-    raise ValueError(f"unknown backend {args.backend!r}")
+    # Reachable when args bypass argparse choices (programmatic callers):
+    # name the flag and the valid values, like the parser would.
+    raise ValueError(
+        f"--backend: unknown backend {args.backend!r} "
+        f"(valid: {', '.join(BACKENDS)})"
+    )
 
 
 def build_policy_and_tuner(args):
@@ -78,7 +83,10 @@ def build_policy_and_tuner(args):
         return SingleD(args.delay), None
     if args.policy == "singler":
         return SingleR(args.delay, args.prob), None
-    raise ValueError(f"unknown policy {args.policy!r}")
+    raise ValueError(
+        f"--policy: unknown policy {args.policy!r} "
+        f"(valid: {', '.join(POLICIES)})"
+    )
 
 
 async def serve_stream(client: HedgedClient, args) -> None:
@@ -186,8 +194,12 @@ def run_serve_command(args) -> int:
     # (policy coins, probe selection): seeding both with the same integer
     # would couple hedging decisions to the latency draws they race.
     backend_seq, client_seq = np.random.SeedSequence(args.seed).spawn(2)
-    backend = build_backend(args, np.random.default_rng(backend_seq))
-    policy, tuner = build_policy_and_tuner(args)
+    try:
+        backend = build_backend(args, np.random.default_rng(backend_seq))
+        policy, tuner = build_policy_and_tuner(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     client = HedgedClient(
         backend,
         policy,
@@ -210,6 +222,296 @@ def run_serve_command(args) -> int:
             f"  (final {client.policy!r})"
         )
     print(f"  peak concurrency     {client.peak_in_flight:>10d}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro loadgen: drive a sharded fleet at a target load
+# ---------------------------------------------------------------------------
+
+LOADGEN_DESCRIPTION = (
+    "Drive a sharded hedging fleet (ServingFleet) with a closed- or "
+    "open-loop load generator and report merged p50/p99/p99.9, achieved "
+    "throughput, shed load, and the fleet's policy version."
+)
+
+
+def configure_loadgen_parser(parser: argparse.ArgumentParser) -> None:
+    from pathlib import Path
+
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="fleet-tail-quick",
+        help="a bundled scenario name or a .toml path; its workload, "
+        "policy, and objective shape the fleet "
+        "(default: fleet-tail-quick)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="fleet width (default: 2)"
+    )
+    parser.add_argument(
+        "--select",
+        default="round-robin",
+        metavar="STRATEGY",
+        help="shard-selection strategy: hash, least-loaded, or round-robin "
+        "(default: round-robin)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="open: external-clock arrivals at --rps; closed: --users "
+        "virtual users issuing back-to-back (default: open)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=("poisson", "uniform"),
+        default="poisson",
+        help="open-loop arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--rps",
+        type=float,
+        default=None,
+        help="open-loop target wall arrivals per second; 0 = unpaced "
+        "burst (default: 20000; open mode only)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="closed-loop virtual users (default: 8; closed mode only)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="total requests (default: the scenario's scale.n_queries)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="per-shard client admission semaphore (default: 64)",
+    )
+    parser.add_argument(
+        "--admission-limit",
+        type=int,
+        default=None,
+        help="per-shard active-request cap; arrivals above it are shed "
+        "(default: never shed)",
+    )
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=2e-5,
+        help="wall seconds per model millisecond (default: 2e-5)",
+    )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="attach an AutoTuner to shard 0; refits propagate to every "
+        "shard via the shared PolicyStore",
+    )
+    parser.add_argument(
+        "--probe-fraction",
+        type=float,
+        default=0.02,
+        help="measurement-probe fraction per shard (default: 0.02)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=200,
+        help="autotuner observation batch (default: 200)",
+    )
+    parser.add_argument(
+        "--refit-interval",
+        type=int,
+        default=500,
+        help="autotuner controller refit interval (default: 500)",
+    )
+    parser.add_argument(
+        "--chaos-spike",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="degrade shard 0 through a ChaosBackend latency spike of "
+        "this factor (hit probability --chaos-prob) — the single-shard-"
+        "degradation demo",
+    )
+    parser.add_argument(
+        "--chaos-prob",
+        type=float,
+        default=0.1,
+        help="per-attempt probability of the --chaos-spike (default: 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serving.json"),
+        metavar="FILE",
+        help="where to write the loadgen record "
+        "(default: ./BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="report only; do not write the BENCH_serving.json record",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the record as JSON instead of the table",
+    )
+
+
+def _validate_loadgen_args(args) -> str | None:
+    """Flag cross-checks; returns an error message naming the flag."""
+    from .fleet import SHARD_SELECTORS
+
+    if args.select not in SHARD_SELECTORS:
+        return (
+            f"--select: unknown shard-selection strategy {args.select!r} "
+            f"(valid: {', '.join(SHARD_SELECTORS.names())})"
+        )
+    if args.shards < 1:
+        return f"--shards must be >= 1, got {args.shards}"
+    if args.mode == "closed" and args.rps is not None:
+        return (
+            "--rps applies only to --mode open (closed loops are paced "
+            "by their users)"
+        )
+    if args.mode == "open" and args.users is not None:
+        return "--users applies only to --mode closed"
+    if args.rps is not None and args.rps < 0:
+        return f"--rps must be >= 0, got {args.rps:g}"
+    if args.users is not None and args.users < 1:
+        return f"--users must be >= 1, got {args.users}"
+    if args.chaos_spike is not None and args.chaos_spike < 1.0:
+        return f"--chaos-spike must be >= 1, got {args.chaos_spike:g}"
+    if not 0.0 <= args.chaos_prob <= 1.0:
+        return f"--chaos-prob must be in [0, 1], got {args.chaos_prob:g}"
+    return None
+
+
+def run_loadgen_command(args) -> int:
+    """Execute a parsed loadgen command."""
+    import json
+
+    from ..scenarios import coerce_scenario
+    from ..scenarios.engines import serving_backend
+    from .chaos import ChaosBackend
+    from .fleet import ServingFleet
+    from .loadgen import LoadGenerator, as_record
+
+    problem = _validate_loadgen_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        scenario = coerce_scenario(args.scenario).check()
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    objective = scenario.objective
+    tuner = None
+    if args.autotune:
+        tuner = AutoTuner(
+            percentile=objective.percentile,
+            budget=objective.budget if objective.budget is not None else 0.05,
+            batch_size=args.batch_size,
+            refit_interval=args.refit_interval,
+        )
+    chaos_seq, gen_seq = np.random.SeedSequence(
+        (args.seed, 0xC4A05)
+    ).spawn(2)
+    chaos: list[ChaosBackend] = []
+
+    def backend_factory(shard_id: int, rng):
+        backend = serving_backend(scenario, args.time_scale, rng)
+        if args.chaos_spike is not None and shard_id == 0:
+            wrapped = ChaosBackend(
+                backend, rng=np.random.default_rng(chaos_seq)
+            )
+            wrapped.spike(factor=args.chaos_spike, prob=args.chaos_prob)
+            chaos.append(wrapped)
+            return wrapped
+        return backend
+
+    try:
+        fleet = ServingFleet.build(
+            args.shards,
+            backend_factory,
+            policy=scenario.build_policy(),
+            selector=args.select,
+            admission_limit=args.admission_limit,
+            concurrency=args.concurrency,
+            deadline_ms=args.deadline_ms,
+            probe_fraction=args.probe_fraction,
+            tuner=tuner,
+            seed=args.seed,
+        )
+        generator = LoadGenerator(fleet, rng=np.random.default_rng(gen_seq))
+        n_requests = args.requests or scenario.scale.n_queries or 2_000
+        target_rps = None
+        if args.mode == "open":
+            target_rps = 20_000.0 if args.rps is None else args.rps
+        result = generator.run(
+            n_requests,
+            mode=args.mode,
+            arrival=args.arrival,
+            target_rps=target_rps,
+            concurrency=args.users if args.users is not None else 8,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = {
+        "shards": args.shards,
+        "select": args.select,
+        "mode": args.mode,
+        "arrival": args.arrival,
+        "rps": target_rps,
+        "users": args.users,
+        "requests": n_requests,
+        "concurrency": args.concurrency,
+        "admission_limit": args.admission_limit,
+        "deadline_ms": args.deadline_ms,
+        "time_scale": args.time_scale,
+        "autotune": args.autotune,
+        "probe_fraction": args.probe_fraction,
+        "chaos_spike": args.chaos_spike,
+        "seed": args.seed,
+    }
+    record = as_record(result, scenario.name, config)
+    if args.json:
+        print(json.dumps(record, indent=2, default=float))
+    else:
+        print(result.render())
+        if tuner is not None:
+            print(
+                f"  policy refits        {tuner.n_refits:>10d}"
+                f"  (store v{fleet.store.version})"
+            )
+        for wrapped in chaos:
+            print(
+                f"  chaos on shard 0     {wrapped.spiked:>10d} spiked "
+                f"attempt(s) of {wrapped.requests_seen}"
+            )
+    if not args.no_write:
+        try:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(json.dumps(record, indent=2) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
     return 0
 
 

@@ -1,0 +1,447 @@
+"""A sharded serving fleet: N hedging shards behind one front door.
+
+One :class:`~repro.serving.hedge.HedgedClient` executes the paper's
+reissue policies on one event loop. Real deployments of the hedging idea
+("Tail at Scale") are *fleets*: many serving shards behind a router,
+where stragglers, load skew, and partial failures — not a single
+client's variance — dominate the tail. This module scales the runtime to
+that shape:
+
+* :class:`PolicyStore` — versioned, fleet-shared policy state. An
+  :class:`~repro.serving.autotune.AutoTuner` refitting on *one* shard
+  publishes here; every other shard adopts the new ``SingleR`` before
+  its next request, so a refit propagates fleet-wide without any shard
+  talking to another.
+* :class:`ShardWorker` — one shard: a ``HedgedClient`` plus per-shard
+  admission control (when ``admission_limit`` concurrent requests are
+  already active the shard *sheds* the request instead of queueing it —
+  an overloaded hedging tier that queues reissues behind primaries
+  collapses; one that sheds degrades) and the policy-sync hooks.
+* :class:`ServingFleet` — the front door: pluggable shard selection
+  (``hash`` / ``round-robin`` / ``least-loaded`` via the
+  :data:`SHARD_SELECTORS` registry), fault containment (a request whose
+  every attempt errored is counted, not propagated), and fleet-wide
+  telemetry through :meth:`~repro.serving.metrics.ServingMetrics.merge`.
+
+The fleet is task-based: every shard lives on the calling event loop,
+which keeps runs deterministic under seeded RNGs while preserving real
+concurrency semantics (timers, cancellation, admission) per shard. The
+``AsyncBackend`` behind each shard is where process/network distribution
+would plug in.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.policies import ReissuePolicy
+from ..obs.trace import get_tracer
+from ..registry import Registry
+from .hedge import HedgedClient, RequestOutcome
+from .metrics import ServingMetrics
+
+
+class PolicyStore:
+    """Fleet-shared, versioned reissue-policy state.
+
+    ``publish`` bumps a monotone version; shards compare versions (not
+    policies) so adoption is O(1) per request. The lock makes the store
+    safe to publish from an :class:`AutoTuner` running refits on its
+    executor thread while the event loop reads.
+    """
+
+    def __init__(self, policy: ReissuePolicy | None = None):
+        self._lock = threading.Lock()
+        self._version = 0
+        self._policy: ReissuePolicy | None = None
+        #: ``(version, source)`` for every publish, oldest first.
+        self.publishes: list[tuple[int, str]] = []
+        if policy is not None:
+            self.publish(policy, source="init")
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def policy(self) -> ReissuePolicy | None:
+        return self._policy
+
+    def publish(self, policy: ReissuePolicy, source: str = "") -> int:
+        """Install ``policy`` fleet-wide; returns the new version."""
+        if not isinstance(policy, ReissuePolicy):
+            raise TypeError(
+                f"expected a ReissuePolicy, got {type(policy).__name__}"
+            )
+        with self._lock:
+            self._version += 1
+            self._policy = policy
+            self.publishes.append((self._version, source))
+            return self._version
+
+    def get(self) -> tuple[int, ReissuePolicy | None]:
+        """A consistent ``(version, policy)`` snapshot."""
+        with self._lock:
+            return self._version, self._policy
+
+
+# ---------------------------------------------------------------------------
+# Shard selection strategies
+# ---------------------------------------------------------------------------
+
+#: Pluggable front-door routing strategies. Entries are no-argument
+#: factories returning an object with ``select(shards, query_id, key)``.
+SHARD_SELECTORS = Registry("shard-selection strategy")
+
+
+class RoundRobinSelector:
+    """Cycle shards in order — uniform spread, stateless backends."""
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, shards, query_id: int, key=None) -> int:
+        index = self._next % len(shards)
+        self._next += 1
+        return index
+
+
+class HashSelector:
+    """Stable CRC32 hash of the routing key (query id by default).
+
+    The same key always lands on the same shard — the affinity a
+    cache-bearing or partitioned backend needs. ``crc32`` rather than
+    ``hash()`` because Python string hashing is salted per process.
+    """
+
+    def select(self, shards, query_id: int, key=None) -> int:
+        token = query_id if key is None else key
+        return zlib.crc32(repr(token).encode()) % len(shards)
+
+
+class LeastLoadedSelector:
+    """Shard with the fewest active requests (lowest index breaks ties).
+
+    The join-the-shortest-queue instinct, applied to admission slots: it
+    steers new arrivals away from a shard soaking up a latency spike.
+    """
+
+    def select(self, shards, query_id: int, key=None) -> int:
+        return min(range(len(shards)), key=lambda i: (shards[i].load, i))
+
+
+SHARD_SELECTORS.register(
+    "round-robin", RoundRobinSelector, summary="cycle shards in order"
+)
+SHARD_SELECTORS.register(
+    "hash",
+    HashSelector,
+    summary="stable CRC32 of the routing key (shard affinity)",
+)
+SHARD_SELECTORS.register(
+    "least-loaded",
+    LeastLoadedSelector,
+    summary="fewest active requests wins (steers around stragglers)",
+)
+
+
+def make_selector(name: str):
+    """Build a registered selector; ``KeyError`` lists valid names."""
+    return SHARD_SELECTORS.build(name)
+
+
+# ---------------------------------------------------------------------------
+# One shard
+# ---------------------------------------------------------------------------
+
+
+class ShardWorker:
+    """One fleet shard: a ``HedgedClient`` + admission + policy sync.
+
+    Admission control here is *load shedding*: when ``admission_limit``
+    requests are already active on this shard, a new one is rejected
+    immediately (``serve_one`` returns ``None``) instead of queueing on
+    the client's semaphore. Shedding bounds both latency (admitted
+    requests never wait behind a backlog) and memory; the fleet-level
+    counters make the rejected traffic visible instead of silent.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        client: HedgedClient,
+        store: PolicyStore,
+        admission_limit: int | None = None,
+    ):
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission_limit must be >= 1")
+        self.shard_id = int(shard_id)
+        self.client = client
+        self.store = store
+        self.admission_limit = (
+            None if admission_limit is None else int(admission_limit)
+        )
+        self.active = 0
+        self.peak_active = 0
+        self.accepted = 0
+        self.shed = 0
+        self.errors = 0
+        self._seen_version = 0
+        self._published_refits = 0
+
+    @property
+    def load(self) -> int:
+        """Requests currently admitted to this shard (routing signal)."""
+        return self.active
+
+    @property
+    def saturated(self) -> bool:
+        return (
+            self.admission_limit is not None
+            and self.active >= self.admission_limit
+        )
+
+    def sync_policy(self) -> None:
+        """Reconcile this shard with the fleet's :class:`PolicyStore`.
+
+        A shard carrying an :class:`AutoTuner` is a *publisher*: any
+        refit since the last sync is pushed to the store. Every other
+        shard is a *subscriber*: a newer store version replaces the
+        client's pinned policy. (Tuned shards never subscribe — their
+        client already serves ``tuner.policy`` live.)
+        """
+        if self.client.tuner is not None:
+            n_refits = self.client.tuner.n_refits
+            if n_refits > self._published_refits:
+                self._published_refits = n_refits
+                self.store.publish(
+                    self.client.tuner.policy,
+                    source=f"shard{self.shard_id}:refit{n_refits}",
+                )
+            return
+        version, policy = self.store.get()
+        if policy is not None and version != self._seen_version:
+            self.client.policy = policy
+            self._seen_version = version
+
+    async def serve_one(self, query_id: int) -> RequestOutcome | None:
+        """Admit and serve one request, or shed it (returns ``None``)."""
+        self.sync_policy()
+        if self.saturated:
+            self.shed += 1
+            return None
+        self.active += 1
+        self.peak_active = max(self.peak_active, self.active)
+        self.accepted += 1
+        try:
+            outcome = await self.client.request(query_id)
+        finally:
+            self.active -= 1
+        # A refit may have landed during this request; publish promptly
+        # so sibling shards adopt before their next arrival.
+        self.sync_policy()
+        return outcome
+
+    def stats(self) -> dict:
+        """Per-shard accounting for reports and BENCH records."""
+        snap = self.client.metrics.snapshot()
+        return {
+            "shard": self.shard_id,
+            "accepted": self.accepted,
+            "completed": snap.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "peak_active": self.peak_active,
+            "reissue_rate": round(snap.reissue_rate, 4),
+            "deadline_misses": snap.deadline_exceeded,
+            "p99_ms": (
+                round(self.client.metrics.quantile(0.99), 3)
+                if snap.completed
+                else None
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The fleet
+# ---------------------------------------------------------------------------
+
+
+class ServingFleet:
+    """N shard workers behind a pluggable front-door router.
+
+    Parameters
+    ----------
+    clients:
+        One :class:`HedgedClient` per shard (each with its own backend,
+        metrics, and RNG stream). At most one should carry a tuner; its
+        refits are what the :class:`PolicyStore` propagates.
+    selector:
+        A :data:`SHARD_SELECTORS` name (``"hash"`` / ``"round-robin"`` /
+        ``"least-loaded"``) or any object with
+        ``select(shards, query_id, key)``.
+    store:
+        The shared :class:`PolicyStore` (default: a fresh one; seed it
+        with the fleet's starting policy to pin all shards immediately).
+    admission_limit:
+        Per-shard active-request cap above which arrivals are shed
+        (default: never shed).
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[HedgedClient],
+        *,
+        selector="round-robin",
+        store: PolicyStore | None = None,
+        admission_limit: int | None = None,
+    ):
+        clients = list(clients)
+        if not clients:
+            raise ValueError("a fleet needs at least one shard client")
+        self.store = store if store is not None else PolicyStore()
+        if isinstance(selector, str):
+            self.selector_name = selector
+            self.selector = make_selector(selector)
+        else:
+            self.selector_name = type(selector).__name__
+            self.selector = selector
+        self.shards = [
+            ShardWorker(i, client, self.store, admission_limit)
+            for i, client in enumerate(clients)
+        ]
+        self.requests = 0
+        self.errors = 0
+
+    @classmethod
+    def build(
+        cls,
+        n_shards: int,
+        backend_factory: Callable[[int, np.random.Generator], object],
+        *,
+        policy: ReissuePolicy | None = None,
+        selector="round-robin",
+        admission_limit: int | None = None,
+        concurrency: int = 64,
+        deadline_ms: float | None = None,
+        probe_fraction: float = 0.0,
+        tuner=None,
+        tuned_shard: int = 0,
+        seed: int = 0,
+    ) -> "ServingFleet":
+        """Construct a fleet of ``n_shards`` identical-shaped shards.
+
+        ``backend_factory(shard_id, rng)`` builds each shard's backend;
+        each shard gets independent backend/client RNG streams spawned
+        from ``seed``. A ``tuner`` (at most one) is attached to
+        ``tuned_shard``; the scenario ``policy`` seeds the shared store
+        so every untuned shard starts aligned.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if tuner is not None and not 0 <= tuned_shard < n_shards:
+            raise ValueError(
+                f"tuned_shard {tuned_shard} out of range for "
+                f"{n_shards} shard(s)"
+            )
+        streams = np.random.SeedSequence(seed).spawn(2 * n_shards)
+        clients = []
+        for i in range(n_shards):
+            backend = backend_factory(i, np.random.default_rng(streams[2 * i]))
+            shard_tuner = tuner if (tuner is not None and i == tuned_shard) else None
+            clients.append(
+                HedgedClient(
+                    backend,
+                    None if shard_tuner is not None else policy,
+                    concurrency=concurrency,
+                    deadline_ms=deadline_ms,
+                    probe_fraction=probe_fraction,
+                    tuner=shard_tuner,
+                    rng=np.random.default_rng(streams[2 * i + 1]),
+                )
+            )
+        return cls(
+            clients,
+            selector=selector,
+            store=PolicyStore(policy),
+            admission_limit=admission_limit,
+        )
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def time_scale(self) -> float:
+        """The fleet's wall-per-model-ms factor (shard 0's backend)."""
+        return self.shards[0].client.backend.time_scale
+
+    @property
+    def shed_total(self) -> int:
+        return sum(s.shed for s in self.shards)
+
+    @property
+    def completed_total(self) -> int:
+        return sum(s.client.metrics.completed for s in self.shards)
+
+    # -- the front door ------------------------------------------------------
+    async def request(self, query_id: int, key=None) -> RequestOutcome | None:
+        """Route and serve one request.
+
+        Returns ``None`` when the selected shard shed the request or
+        every attempt of it errored (the error is contained here and
+        counted on the shard and the fleet — a failing backend must
+        degrade the fleet, not crash its caller).
+        """
+        self.requests += 1
+        index = self.selector.select(self.shards, query_id, key)
+        shard = self.shards[index]
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._serve_on(shard, query_id)
+        with tracer.span(
+            "fleet.request", query_id=query_id, shard=shard.shard_id
+        ) as span:
+            outcome = await self._serve_on(shard, query_id)
+            span.attrs["shed"] = outcome is None and shard.saturated
+            span.attrs["ok"] = outcome is not None
+            return outcome
+
+    async def _serve_on(self, shard, query_id):
+        try:
+            return await shard.serve_one(query_id)
+        except Exception:
+            shard.errors += 1
+            self.errors += 1
+            return None
+
+    # -- fleet-wide telemetry ------------------------------------------------
+    def metrics(self) -> ServingMetrics:
+        """Merged cross-shard telemetry (counters exact, digest within
+        the documented sketch tolerance). Always a fresh object — the
+        live per-shard metrics are never mutated."""
+        merged = self.shards[0].client.metrics.merge(ServingMetrics())
+        for shard in self.shards[1:]:
+            merged = merged.merge(shard.client.metrics)
+        return merged
+
+    def snapshot(self):
+        return self.metrics().snapshot()
+
+    def stats(self) -> dict:
+        """The fleet's accounting: totals plus per-shard breakdown."""
+        return {
+            "shards": self.n_shards,
+            "selector": self.selector_name,
+            "requests": self.requests,
+            "completed": self.completed_total,
+            "shed": self.shed_total,
+            "errors": self.errors,
+            "policy_version": self.store.version,
+            "per_shard": [s.stats() for s in self.shards],
+        }

@@ -1,0 +1,150 @@
+"""Tests for ``repro loadgen`` and the BENCH_serving.json record schema."""
+
+import json
+
+import pytest
+
+from repro.main import main
+from repro.serving.loadgen import RECORD_KIND, RECORD_VERSION, validate_record
+
+QUICK = [
+    "loadgen",
+    "fleet-tail-quick",
+    "--requests", "80",
+    "--rps", "0",
+    "--time-scale", "0",
+    "--seed", "3",
+]
+
+
+def run_quick(tmp_path, *extra):
+    out = tmp_path / "BENCH_serving.json"
+    rc = main([*QUICK, "--out", str(out), *extra])
+    return rc, out
+
+
+class TestLoadgenRuns:
+    def test_smoke_writes_valid_record(self, tmp_path, capsys):
+        rc, out = run_quick(tmp_path)
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "p99" in stdout
+        assert f"wrote {out}" in stdout
+        record = json.loads(out.read_text())
+        assert validate_record(record) == []
+        assert record["results"]["issued"] == 80
+        assert record["results"]["shards"] == 2
+        assert record["scenario"] == "fleet-tail-quick"
+
+    def test_no_write_skips_the_record(self, tmp_path, capsys):
+        rc, out = run_quick(tmp_path, "--no-write")
+        assert rc == 0
+        assert not out.exists()
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_json_output_is_the_record(self, tmp_path, capsys):
+        rc, _ = run_quick(tmp_path, "--json", "--no-write")
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == RECORD_KIND
+        assert record["version"] == RECORD_VERSION
+        assert validate_record(record) == []
+
+    def test_closed_loop_run(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        rc = main(
+            [
+                "loadgen", "fleet-tail-quick",
+                "--mode", "closed", "--users", "4",
+                "--requests", "60", "--time-scale", "0",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert validate_record(record) == []
+        assert record["config"]["mode"] == "closed"
+        assert record["config"]["users"] == 4
+
+    def test_chaos_spike_is_reported(self, tmp_path, capsys):
+        rc, _ = run_quick(
+            tmp_path, "--no-write", "--chaos-spike", "10", "--chaos-prob", "1"
+        )
+        assert rc == 0
+        assert "chaos on shard 0" in capsys.readouterr().out
+
+    def test_autotune_reports_store_version(self, tmp_path, capsys):
+        rc, _ = run_quick(tmp_path, "--no-write", "--autotune")
+        assert rc == 0
+        assert "policy refits" in capsys.readouterr().out
+
+
+class TestLoadgenArgumentErrors:
+    """Errors must name the offending flag, not raise a bare KeyError."""
+
+    def err(self, capsys, *argv):
+        rc = main(["loadgen", *argv])
+        assert rc == 2
+        return capsys.readouterr().err
+
+    def test_unknown_selector_names_flag_and_lists_strategies(self, capsys):
+        err = self.err(capsys, "--select", "zebra")
+        assert "--select" in err
+        assert "'zebra'" in err
+        for name in ("hash", "least-loaded", "round-robin"):
+            assert name in err
+
+    def test_rps_rejected_in_closed_mode(self, capsys):
+        err = self.err(capsys, "--mode", "closed", "--rps", "100")
+        assert "--rps" in err and "--mode open" in err
+
+    def test_users_rejected_in_open_mode(self, capsys):
+        err = self.err(capsys, "--mode", "open", "--users", "4")
+        assert "--users" in err and "--mode closed" in err
+
+    def test_bad_shards(self, capsys):
+        assert "--shards" in self.err(capsys, "--shards", "0")
+
+    def test_negative_rps(self, capsys):
+        assert "--rps" in self.err(capsys, "--rps", "-5")
+
+    def test_chaos_spike_below_one(self, capsys):
+        assert "--chaos-spike" in self.err(capsys, "--chaos-spike", "0.5")
+
+    def test_chaos_prob_out_of_range(self, capsys):
+        assert "--chaos-prob" in self.err(capsys, "--chaos-prob", "1.5")
+
+    def test_unknown_scenario(self, capsys):
+        err = self.err(capsys, "no-such-scenario", "--no-write")
+        assert "no-such-scenario" in err
+
+
+class TestValidateRecord:
+    @pytest.fixture
+    def record(self, tmp_path):
+        rc, out = run_quick(tmp_path)
+        assert rc == 0
+        return json.loads(out.read_text())
+
+    def test_valid_record_has_no_problems(self, record):
+        assert validate_record(record) == []
+
+    def test_wrong_kind(self, record):
+        record["kind"] = "other"
+        assert any("kind" in p for p in validate_record(record))
+
+    def test_counter_identity_enforced(self, record):
+        record["results"]["shed"] += 1
+        problems = validate_record(record)
+        assert any("issued" in p for p in problems)
+
+    def test_quantiles_must_be_ordered(self, record):
+        record["results"]["quantiles_ms"]["p50"] = 1e9
+        assert any("quantile" in p.lower() for p in validate_record(record))
+
+    def test_per_shard_length_must_match(self, record):
+        record["results"]["per_shard"].append({})
+        assert any("per_shard" in p for p in validate_record(record))
+
+    def test_non_dict_rejected(self):
+        assert validate_record([]) != []

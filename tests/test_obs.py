@@ -317,6 +317,49 @@ class TestServingTrace:
         ]
         assert nested, "no request span with nested reissue + cancel children"
 
+    def test_chaos_spiked_primary_loses_race_with_cancel_in_trace(self):
+        # Chaos regression for the PR 6 race-acceptance test: a primary
+        # slowed 50x by fault injection must lose to the policy reissue,
+        # and the trace must show the reissue child winning plus the
+        # cancellation of the spiked primary.
+        import asyncio
+
+        import numpy as np
+
+        from repro.core.policies import SingleR
+        from repro.distributions import Deterministic
+        from repro.serving.backends import SyntheticBackend
+        from repro.serving.chaos import ChaosBackend
+        from repro.serving.hedge import HedgedClient
+
+        backend = ChaosBackend(
+            SyntheticBackend(Deterministic(10.0), time_scale=2e-4)
+        )
+        backend.spike(factor=50.0, prob=1.0, primary_only=True)
+        client = HedgedClient(
+            backend, SingleR(1.0, 1.0), rng=np.random.default_rng(3)
+        )
+        with tracing() as tracer:
+            outcomes = asyncio.run(client.serve(5))
+        for outcome in outcomes:
+            # Reissues are spared the spike, so the hedge wins every race
+            # at (d=1) + 10 model ms instead of the spiked 500.
+            assert outcome.winner == "reissue"
+            assert outcome.latency_ms == pytest.approx(11.0)
+            assert outcome.cancelled_attempts == 1
+        requests = [s for s in tracer.spans if s.name == "serving.request"]
+        assert len(requests) == 5
+        children_of = {}
+        for span in tracer.spans:
+            children_of.setdefault(span.parent_id, []).append(span.name)
+        for span in requests:
+            names = children_of.get(span.span_id, [])
+            assert "serving.attempt.reissue" in names
+            # The cancellation of the spiked primary is a point event
+            # (zero-duration child span) under the request span.
+            assert "serving.cancel" in names
+            assert span.attrs["winner"] == "reissue"
+
     def test_race_outcome_attrs_on_request_span(self):
         from repro.scenarios import Session
 

@@ -1,0 +1,144 @@
+"""Unit tests for the ChaosBackend fault-injection wrapper."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+from repro.serving.backends import SyntheticBackend
+from repro.serving.chaos import ChaosBackend, ChaosError
+
+
+def chaos(latency=10.0, time_scale=0.0, rng=None):
+    return ChaosBackend(
+        SyntheticBackend(Deterministic(latency), time_scale=time_scale),
+        rng=rng,
+    )
+
+
+def request(backend, query_id=0, is_reissue=False):
+    return asyncio.run(backend.request(query_id, is_reissue=is_reissue))
+
+
+class TestTransparency:
+    def test_no_faults_passes_through(self):
+        backend = chaos()
+        resp = request(backend, 7)
+        assert resp.query_id == 7
+        assert resp.latency_ms == pytest.approx(10.0)
+        assert backend.requests_seen == 1
+        assert backend.spiked == 0
+        assert backend.inner.completed == 1
+
+    def test_time_scale_delegates_to_inner(self):
+        backend = chaos(time_scale=2e-4)
+        assert backend.time_scale == pytest.approx(2e-4)
+
+
+class TestSpike:
+    def test_multiplicative_and_additive_penalty(self):
+        backend = chaos()
+        backend.spike(factor=3.0, add_ms=5.0)
+        resp = request(backend)
+        assert resp.latency_ms == pytest.approx(10.0 * 3.0 + 5.0)
+        assert backend.spiked == 1
+
+    def test_probabilistic_spike_hits_roughly_prob(self):
+        backend = chaos(rng=np.random.default_rng(11))
+        backend.spike(factor=2.0, prob=0.3)
+        for i in range(400):
+            request(backend, i)
+        assert backend.spiked == pytest.approx(120, abs=40)
+
+    def test_primary_only_spares_reissues(self):
+        backend = chaos()
+        backend.spike(factor=4.0, prob=1.0, primary_only=True)
+        assert request(backend, is_reissue=False).latency_ms == pytest.approx(
+            40.0
+        )
+        assert request(backend, is_reissue=True).latency_ms == pytest.approx(
+            10.0
+        )
+
+    def test_spike_is_realized_on_the_wall_clock(self):
+        # The extra latency must genuinely slow the attempt (so reissue
+        # timers fire against it), not just inflate the reported number.
+        backend = chaos(time_scale=1e-3)
+        backend.spike(add_ms=30.0)
+
+        async def timed():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            resp = await backend.request(0)
+            return resp, loop.time() - t0
+
+        resp, wall = asyncio.run(timed())
+        assert resp.latency_ms == pytest.approx(40.0)
+        assert wall >= 0.035  # 40 model ms at 1e-3 wall/model-ms
+
+    def test_validation(self):
+        backend = chaos()
+        with pytest.raises(ValueError):
+            backend.spike(factor=0.5)
+        with pytest.raises(ValueError):
+            backend.spike(add_ms=-1.0)
+        with pytest.raises(ValueError):
+            backend.spike(prob=1.5)
+
+
+class TestErrorBurst:
+    def test_burst_fails_exactly_n_attempts(self):
+        backend = chaos()
+        backend.error_burst(2)
+        for _ in range(2):
+            with pytest.raises(ChaosError):
+                request(backend)
+        resp = request(backend)
+        assert resp.latency_ms == pytest.approx(10.0)
+        assert backend.errors_injected == 2
+        assert backend.error_burst_remaining == 0
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            chaos().error_burst(-1)
+
+
+class TestBlackout:
+    def test_blackout_hangs_until_cancelled(self):
+        backend = chaos(time_scale=1e-4)
+        backend.blackout()
+
+        async def attempt():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(backend.request(0), timeout=0.05)
+
+        asyncio.run(attempt())
+        assert backend.blackholed == 1
+        # The inner backend never even started the attempt.
+        assert backend.inner.started == 0
+
+    def test_heal_restores_service(self):
+        backend = chaos()
+        backend.blackout()
+        backend.error_burst(5)
+        backend.spike(factor=9.0)
+        backend.skew(2.0)
+        backend.heal()
+        resp = request(backend)
+        assert resp.latency_ms == pytest.approx(10.0)
+
+
+class TestSkew:
+    def test_skew_accumulates_per_attempt(self):
+        backend = chaos()
+        backend.skew(1.5)
+        observed = [request(backend, i).latency_ms for i in range(3)]
+        assert observed == pytest.approx([11.5, 13.0, 14.5])
+        # Skew is telemetry-only: the inner backend served at 10 ms.
+        assert backend.inner.completed == 3
+
+    def test_negative_skew_clamps_at_zero(self):
+        backend = chaos(latency=1.0)
+        backend.skew(-5.0)
+        assert request(backend).latency_ms == 0.0

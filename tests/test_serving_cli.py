@@ -84,3 +84,44 @@ def test_default_batch_size_enables_drift_detection():
         ]
     )
     assert rc == 0
+
+
+class TestFlagNamingErrors:
+    """Programmatic callers bypass argparse choices; the build helpers
+    must still name the offending flag and list the valid values."""
+
+    def parsed(self, **overrides):
+        args = cli.build_parser().parse_args(
+            ["--requests", "10", "--time-scale", "0", "--report-every", "10"]
+        )
+        for key, value in overrides.items():
+            setattr(args, key, value)
+        return args
+
+    def test_unknown_backend_names_flag(self, capsys):
+        rc = cli.run_serve_command(self.parsed(backend="bogus"))
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--backend" in err and "'bogus'" in err
+        for name in cli.BACKENDS:
+            assert name in err
+
+    def test_unknown_policy_names_flag(self, capsys):
+        rc = cli.run_serve_command(self.parsed(policy="bogus"))
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--policy" in err and "'bogus'" in err
+        for name in cli.POLICIES:
+            assert name in err
+
+    def test_build_backend_raises_named_valueerror(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="--backend"):
+            cli.build_backend(
+                self.parsed(backend="nope"), np.random.default_rng(0)
+            )
+
+    def test_build_policy_raises_named_valueerror(self):
+        with pytest.raises(ValueError, match="--policy"):
+            cli.build_policy_and_tuner(self.parsed(policy="nope"))
