@@ -1,16 +1,21 @@
-"""Batch-simulation speedup bench: fastsim vs the frozen per-query loop.
+"""Batch-simulation speedup bench: kernel tiers vs the frozen loops.
 
 The workload is fig2-scale — the Queueing system at 30% utilization,
 20k queries per replication, a seed-paired batch across an adaptive-size
 budget grid — i.e. exactly the shape every figure driver multiplies out.
-Three implementations run the same replications:
+The same replications run through every implementation generation:
 
-* ``v0``        — the seed revision's per-query event loop (frozen copy
-                  in ``legacy_engine.py``);
-* ``reference`` — today's object-based oracle loop (pre-drawn inputs,
-                  still one Python object per request);
-* ``fastsim``   — the array-backed batch kernel behind
-                  ``simulate_cluster``.
+* ``v0``               — the seed revision's per-query event loop
+                         (frozen copy in ``legacy_engine.py``);
+* ``reference``        — today's object-based oracle loop (pre-drawn
+                         inputs, still one Python object per request);
+* ``fastsim_numpy``    — the mandatory pure-NumPy kernel tier (array
+                         schedule, scalar loop over flat lists);
+* ``fastsim_compiled`` — the numba-``@njit`` structured-array tier
+                         (the ``[fast]`` extra). Measured only when
+                         numba is installed; otherwise the record
+                         carries an explicit explanation instead of a
+                         silently missing number.
 
 Run standalone to record the perf trajectory (the committed
 ``BENCH_fastsim.json``)::
@@ -34,6 +39,7 @@ from legacy_engine import simulate_cluster_v0
 
 from repro.core.policies import SingleR
 from repro.fastsim import ReplicationSpec, simulate_batch
+from repro.fastsim._compiled import HAVE_NUMBA, NUMBA_VERSION
 from repro.simulation.engine import simulate_cluster_reference
 from repro.simulation.workloads import queueing_workload
 
@@ -41,6 +47,10 @@ from repro.simulation.workloads import queueing_workload
 FIG2_POLICY = SingleR(10.0, 0.3)
 FIG2_SEEDS = (101, 103, 107)
 FIG2_BUDGET_POINTS = 4
+
+#: The tentpole target: compiled tier >= 5x over the numpy tier on the
+#: committed workload (ISSUE 8 acceptance bar).
+COMPILED_SPEEDUP_TARGET = 5.0
 
 
 def fig2_scale_specs(n_queries=20_000):
@@ -69,22 +79,76 @@ def _time_replications(runner, specs, repeats=1):
     return best
 
 
-def _time_batch(specs, repeats=1):
+def _time_batch(specs, repeats=1, tier=None):
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        simulate_batch(specs)
+        simulate_batch(specs, tier=tier)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
 def measure(n_queries=20_000, repeats=2):
-    """Wall-clock all three implementations over the same batch."""
+    """Wall-clock every implementation generation over the same batch."""
     specs = fig2_scale_specs(n_queries)
+    n_rep = len(specs)
+    n_total_queries = n_rep * n_queries
     t_v0 = _time_replications(simulate_cluster_v0, specs, repeats)
     t_ref = _time_replications(simulate_cluster_reference, specs, repeats)
-    t_fast = _time_batch(specs, repeats)
-    n_rep = len(specs)
+    t_numpy = _time_batch(specs, repeats, tier="numpy")
+
+    seconds = {
+        "v0_per_query_loop": round(t_v0, 4),
+        "reference_loop": round(t_ref, 4),
+        "fastsim_numpy": round(t_numpy, 4),
+    }
+    qps = {
+        "v0_per_query_loop": round(n_total_queries / t_v0),
+        "reference_loop": round(n_total_queries / t_ref),
+        "fastsim_numpy": round(n_total_queries / t_numpy),
+    }
+    speedup = {
+        "numpy_vs_v0": round(t_v0 / t_numpy, 2),
+        "numpy_vs_reference": round(t_ref / t_numpy, 2),
+        "reference_vs_v0": round(t_v0 / t_ref, 2),
+    }
+    kernel = {
+        "numba_available": HAVE_NUMBA,
+        "numba_version": NUMBA_VERSION,
+        "compiled_speedup_target_vs_numpy": COMPILED_SPEEDUP_TARGET,
+    }
+
+    if HAVE_NUMBA:
+        # Untimed warmup absorbs the one-off JIT compile / cache load.
+        simulate_batch(specs[:1], tier="compiled")
+        t_compiled = _time_batch(specs, repeats, tier="compiled")
+        seconds["fastsim_compiled"] = round(t_compiled, 4)
+        qps["fastsim_compiled"] = round(n_total_queries / t_compiled)
+        speedup["compiled_vs_numpy"] = round(t_numpy / t_compiled, 2)
+        speedup["compiled_vs_v0"] = round(t_v0 / t_compiled, 2)
+        kernel["compiled_target_met"] = (
+            speedup["compiled_vs_numpy"] >= COMPILED_SPEEDUP_TARGET
+        )
+        if not kernel["compiled_target_met"]:
+            kernel["gap_explanation"] = (
+                f"compiled tier measured {speedup['compiled_vs_numpy']}x over "
+                f"the numpy tier, below the {COMPILED_SPEEDUP_TARGET}x target "
+                "on this machine"
+            )
+    else:
+        seconds["fastsim_compiled"] = None
+        qps["fastsim_compiled"] = None
+        speedup["compiled_vs_numpy"] = None
+        kernel["compiled_target_met"] = None
+        kernel["gap_explanation"] = (
+            "numba is not installed in the recording environment, so the "
+            "compiled tier could not be measured here; the numpy-tier "
+            "numbers above are the mandatory-fallback baseline. Re-run "
+            "this bench with the [fast] extra installed (the CI bench job "
+            "does) to record compiled-tier throughput and the "
+            "compiled_vs_numpy speedup against the 5x target."
+        )
+
     return {
         "workload": {
             "system": "queueing_workload(utilization=0.3)",
@@ -94,47 +158,51 @@ def measure(n_queries=20_000, repeats=2):
             "budget_points": FIG2_BUDGET_POINTS,
             "policy_delay": FIG2_POLICY.delay,
         },
-        "seconds": {
-            "v0_per_query_loop": round(t_v0, 4),
-            "reference_loop": round(t_ref, 4),
-            "fastsim_batch": round(t_fast, 4),
-        },
-        "replications_per_second": {
-            "v0_per_query_loop": round(n_rep / t_v0, 2),
-            "reference_loop": round(n_rep / t_ref, 2),
-            "fastsim_batch": round(n_rep / t_fast, 2),
-        },
-        "speedup": {
-            "fastsim_vs_v0": round(t_v0 / t_fast, 2),
-            "fastsim_vs_reference": round(t_ref / t_fast, 2),
-            "reference_vs_v0": round(t_v0 / t_ref, 2),
-        },
+        "kernel": kernel,
+        "seconds": seconds,
+        "queries_per_second": qps,
+        "speedup": speedup,
     }
 
 
 def test_fastsim_speedup_over_per_query_loop():
     """Acceptance floor (with CI-noise headroom below the recorded ≥3×):
-    the batch kernel must beat the frozen per-query loop ≥3× and the
-    current reference loop ≥2× on a reduced fig2-scale batch."""
+    the numpy-tier batch kernel must beat the frozen per-query loop ≥3×
+    and the current reference loop ≥2× on a reduced fig2-scale batch."""
     report = measure(n_queries=8_000, repeats=1)
     print()
     print("fastsim bench (reduced scale):", report["speedup"])
-    assert report["speedup"]["fastsim_vs_v0"] >= 3.0
-    assert report["speedup"]["fastsim_vs_reference"] >= 2.0
+    assert report["speedup"]["numpy_vs_v0"] >= 3.0
+    assert report["speedup"]["numpy_vs_reference"] >= 2.0
+
+
+def test_compiled_tier_speedup():
+    """The compiled tier must clearly beat the numpy tier (CI headroom
+    below the recorded 5x target); skipped without numba."""
+    import pytest
+
+    if not HAVE_NUMBA:
+        pytest.skip("numba not installed ([fast] extra)")
+    report = measure(n_queries=8_000, repeats=1)
+    print()
+    print("compiled tier (reduced scale):", report["speedup"])
+    assert report["speedup"]["compiled_vs_numpy"] >= 2.0
 
 
 def test_fastsim_equivalence_spot_check():
-    """The three implementations agree bit-for-bit on a spot replication
+    """All implementations agree bit-for-bit on a spot replication
     (full matrix coverage lives in tests/test_fastsim_equivalence.py; the
     v0 loop predates the pre-draw protocol and is only distribution-level
     equivalent, so it is not compared here)."""
     spec = fig2_scale_specs(2_000)[0]
-    fast = simulate_batch([spec])[0]
     ref = simulate_cluster_reference(
         spec.config, spec.policy, np.random.default_rng(spec.seed)
     )
-    np.testing.assert_array_equal(fast.latencies, ref.latencies)
-    assert fast.utilization == ref.utilization
+    tiers = ["numpy", "interpreted"] + (["compiled"] if HAVE_NUMBA else [])
+    for tier in tiers:
+        fast = simulate_batch([spec], tier=tier)[0]
+        np.testing.assert_array_equal(fast.latencies, ref.latencies)
+        assert fast.utilization == ref.utilization
 
 
 def main():
@@ -144,12 +212,17 @@ def main():
     path = persist_bench_record("fastsim", report)
     print("fig2-scale batch of", report["workload"]["n_replications"], "replications:")
     for impl, secs in report["seconds"].items():
-        rps = report["replications_per_second"][impl]
-        print(f"  {impl:>20}: {secs:7.3f}s  ({rps:.2f} replications/s)")
+        if secs is None:
+            print(f"  {impl:>20}: (not measured: numba unavailable)")
+            continue
+        qps = report["queries_per_second"][impl]
+        print(f"  {impl:>20}: {secs:7.3f}s  ({qps:,} queries/s)")
     print("speedups:", report["speedup"])
+    if not report["kernel"]["numba_available"]:
+        print("note:", report["kernel"]["gap_explanation"])
     if path is not None:
         print("recorded ->", path)
-    if report["speedup"]["fastsim_vs_v0"] < 3.0:
+    if report["speedup"]["numpy_vs_v0"] < 3.0:
         raise SystemExit("speedup target (>=3x vs per-query loop) not met")
 
 

@@ -8,8 +8,13 @@ a speedup *ratio* of the optimised path over a retained baseline
 implementation, both measured back to back in the same process —
 
 * ``fastsim.speedup_vs_reference`` — the array-backed batch kernel
-  (:func:`repro.fastsim.simulate_batch`) vs the object-based oracle loop
+  (:func:`repro.fastsim.simulate_batch`, whatever tier auto-selection
+  picks) vs the object-based oracle loop
   (:func:`repro.simulation.engine.simulate_cluster_reference`);
+* ``fastsim.speedup_compiled_vs_numpy`` — the numba-compiled kernel
+  tier vs the mandatory pure-NumPy tier on the same batch; recorded
+  only on machines with the ``[fast]`` extra installed (skipped, not
+  failed, elsewhere);
 * ``optimize.speedup_vectorized_vs_scalar`` — the broadcast SingleR
   sweep (:func:`repro.optimize.vectorized.compute_optimal_singler_vectorized`)
   vs the paper's scalar two-pointer sweep
@@ -80,13 +85,57 @@ def bench_fastsim(
             simulate_cluster_reference(spec.config, spec.policy, as_rng(spec.seed))
 
     # Untimed warmup: both paths once, so imports / allocator warmup and
-    # first-call caches never land inside a timed measurement.
+    # first-call caches (including numba JIT compilation on the compiled
+    # tier) never land inside a timed measurement.
     simulate_batch(specs[:1])
     simulate_cluster_reference(specs[0].config, specs[0].policy, as_rng(0))
     baseline_s = _best_of(reference, repeats)
     optimized_s = _best_of(lambda: simulate_batch(specs), repeats)
+    from .fastsim import kernel_info
+
+    tier = kernel_info()["default_tier"]
     return {
         "metric": "fastsim.speedup_vs_reference",
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "detail": (
+            f"{len(specs)} replications x {n_queries} queries [tier={tier}]"
+        ),
+    }
+
+
+def bench_fastsim_compiled(
+    n_queries: int = 2_000, seeds: Sequence[int] = (101, 103), repeats: int = 2
+) -> dict | None:
+    """Compiled kernel tier vs the mandatory numpy tier, same batch.
+
+    Returns ``None`` (bench skipped, metric absent from the record) when
+    numba is not installed — the regression gate only checks metrics the
+    newest record actually carries, so machines without the ``[fast]``
+    extra neither record nor gate this metric.
+    """
+    from .core.policies import SingleR
+    from .fastsim import ReplicationSpec, simulate_batch
+    from .fastsim._compiled import HAVE_NUMBA
+    from .simulation.workloads import queueing_workload
+
+    if not HAVE_NUMBA:
+        return None
+    system = queueing_workload(n_queries=n_queries, utilization=0.3)
+    policy = SingleR(6.0, 0.3)
+    specs = [ReplicationSpec(system.config, policy, seed=s) for s in seeds]
+
+    # Untimed warmup absorbs the one-off JIT compilation (or its on-disk
+    # cache load) and allocator warmup on both tiers.
+    simulate_batch(specs[:1], tier="compiled")
+    simulate_batch(specs[:1], tier="numpy")
+    baseline_s = _best_of(lambda: simulate_batch(specs, tier="numpy"), repeats)
+    optimized_s = _best_of(
+        lambda: simulate_batch(specs, tier="compiled"), repeats
+    )
+    return {
+        "metric": "fastsim.speedup_compiled_vs_numpy",
         "baseline_s": baseline_s,
         "optimized_s": optimized_s,
         "speedup": baseline_s / optimized_s,
@@ -227,9 +276,12 @@ def bench_serving(
     }
 
 
-#: name -> callable(repeats=...) -> result dict. Order is display order.
-SUITE: dict[str, Callable[..., dict]] = {
+#: name -> callable(repeats=...) -> result dict, or None when the bench
+#: does not apply on this machine (e.g. the compiled kernel tier without
+#: numba). Order is display order.
+SUITE: dict[str, Callable[..., dict | None]] = {
     "fastsim": bench_fastsim,
+    "fastsim-compiled": bench_fastsim_compiled,
     "optimize": bench_optimize,
     "pipeline": bench_pipeline,
     "serving": bench_serving,
@@ -237,13 +289,25 @@ SUITE: dict[str, Callable[..., dict]] = {
 
 
 def run_suite(repeats: int = 2, only: Sequence[str] | None = None) -> dict:
-    """Run the suite and build one history record."""
+    """Run the suite and build one history record.
+
+    A suite entry returning ``None`` is recorded as skipped (by name,
+    under ``"skipped_benches"``) instead of contributing a metric; the
+    gate then simply has nothing to check for it on this machine.
+    """
     names = list(only) if only else list(SUITE)
     unknown = [n for n in names if n not in SUITE]
     if unknown:
         raise KeyError(f"unknown bench(es) {unknown}; available: {list(SUITE)}")
-    results = [SUITE[name](repeats=repeats) for name in names]
-    return {
+    results = []
+    skipped = []
+    for name in names:
+        outcome = SUITE[name](repeats=repeats)
+        if outcome is None:
+            skipped.append(name)
+        else:
+            results.append(outcome)
+    record = {
         "version": HISTORY_VERSION,
         "recorded_unix": int(time.time()),
         "python": platform.python_version(),
@@ -251,6 +315,9 @@ def run_suite(repeats: int = 2, only: Sequence[str] | None = None) -> dict:
         "metrics": {r["metric"]: round(float(r["speedup"]), 3) for r in results},
         "results": results,
     }
+    if skipped:
+        record["skipped_benches"] = skipped
+    return record
 
 
 # -- history + regression gate ----------------------------------------------
@@ -427,6 +494,7 @@ __all__ = [
     "SUITE",
     "append_history",
     "bench_fastsim",
+    "bench_fastsim_compiled",
     "bench_optimize",
     "bench_pipeline",
     "bench_serving",

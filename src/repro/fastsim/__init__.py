@@ -14,12 +14,16 @@ cheap:
   scalar event loop's dynamic heap only ever holds at most one
   departure per server;
 * per-query Python objects (``Request``/``Server``) are replaced by flat
-  lists indexed by server id.
+  contiguous state — lists indexed by server id on the ``numpy`` tier,
+  structured arrays with no Python objects at all on the optional
+  numba-``compiled`` tier (:mod:`repro.fastsim._core`, the ``[fast]``
+  extra), behind a ``compiled`` → ``numpy`` → ``reference`` dispatcher
+  (:mod:`repro.fastsim.kernel`, overridable via ``REPRO_KERNEL``).
 
-The kernel is bit-for-bit equivalent to
+Every tier is bit-for-bit equivalent to
 :func:`repro.simulation.engine.simulate_cluster_reference` for a fixed
 seed (``tests/test_fastsim_equivalence.py`` enforces this across the
-policy × discipline × balancer × cancellation matrix).
+policy × discipline × balancer × cancellation matrix, per tier).
 """
 
 from .batch import (
@@ -29,13 +33,25 @@ from .batch import (
     run_replications,
     simulate_batch,
 )
-from .kernel import simulate_replication
+from .kernel import (
+    TIERS,
+    kernel_info,
+    resolve_tier,
+    simulate_replication,
+    simulate_replication_tiered,
+    tier_counts,
+)
 
 __all__ = [
     "ReplicationSpec",
+    "TIERS",
     "batch_over_seeds",
+    "kernel_info",
+    "resolve_tier",
     "run_policy_batch",
     "run_replications",
     "simulate_batch",
     "simulate_replication",
+    "simulate_replication_tiered",
+    "tier_counts",
 ]

@@ -1,0 +1,50 @@
+"""Optional numba-compiled kernel tier (the ``[fast]`` extra).
+
+numba is deliberately a soft dependency: this module imports it behind a
+guard, the library and the full test suite run without it, and the only
+hard failure is an *explicit* ``REPRO_KERNEL=compiled`` request on a
+machine without numba (raised in :mod:`repro.fastsim.kernel` with an
+actionable message). When numba is present,
+:func:`repro.fastsim._core.simulate_core` is compiled lazily on first
+use with ``@njit(cache=True)`` — the on-disk cache makes the one-off
+compilation cost a per-machine, not per-process, event.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the with/without-numba CI matrix
+    import numba
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION: str | None = numba.__version__
+except ImportError:  # pragma: no cover
+    numba = None
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+#: How to get the compiled tier when numba is missing.
+INSTALL_HINT = (
+    "install it with `pip install 'repro-reissue[fast]'` (or `pip install "
+    "numba`), or unset REPRO_KERNEL / set REPRO_KERNEL=numpy to use the "
+    "pure-NumPy tier"
+)
+
+_compiled_core = None
+
+
+def compiled_core():
+    """The ``@njit``-compiled :func:`~repro.fastsim._core.simulate_core`.
+
+    Raises ``RuntimeError`` when numba is not installed; compiles (or
+    loads the on-disk cache) on first call.
+    """
+    global _compiled_core
+    if not HAVE_NUMBA:
+        raise RuntimeError(
+            f"the compiled fastsim tier requires numba; {INSTALL_HINT}"
+        )
+    if _compiled_core is None:
+        from ._core import simulate_core
+
+        _compiled_core = numba.njit(cache=True)(simulate_core)
+    return _compiled_core

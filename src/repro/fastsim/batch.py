@@ -26,7 +26,7 @@ from ..distributions.base import RngLike, as_rng
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..simulation.engine import ClusterConfig
-from .kernel import simulate_replication
+from .kernel import simulate_replication_tiered
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,9 @@ class ReplicationSpec:
     key: str = ""
 
 
-def simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
+def simulate_batch(
+    specs: Iterable[ReplicationSpec], tier: str | None = None
+) -> list[RunResult]:
     """Run every replication spec; results in spec order.
 
     With stateless seeds (ints / ``SeedSequence``s) a fresh generator is
@@ -56,25 +58,38 @@ def simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
     for bit. Specs carrying a shared ``Generator`` consume it in spec
     order instead, tying their results to the batch's composition.
 
+    ``tier`` pins a kernel tier for the whole batch (see
+    :func:`repro.fastsim.kernel.simulate_replication_tiered`); ``None``
+    defers to ``REPRO_KERNEL`` / automatic selection.
+
     Under tracing the batch gets one span (batch-level, never
-    per-event): replications and queries processed, plus a
-    replications/sec gauge in the metric registry. With the default null
-    tracer the hot loop is untouched — a single ``enabled`` branch.
+    per-event): replications and queries processed, throughput, and
+    which kernel tiers actually executed (``kernel_tier`` is the
+    dominant tier, ``kernel_tiers`` the per-tier replication counts — a
+    silent structural fallback shows up here instead of just running
+    slow). With the default null tracer the hot loop is untouched — a
+    single ``enabled`` branch.
     """
     tracer = get_tracer()
     if not tracer.enabled:
-        return _simulate_batch(specs)
+        return _simulate_batch(specs, tier)[0]
     specs = list(specs)
     with tracer.span("fastsim.batch", n_replications=len(specs)) as span:
         t0 = time.perf_counter()
-        results = _simulate_batch(specs)
+        results, tiers = _simulate_batch(specs, tier)
         elapsed = time.perf_counter() - t0
         queries = sum(r.n_queries for r in results)
         span.attrs["queries"] = queries
+        if tiers:
+            span.attrs["kernel_tier"] = max(tiers, key=tiers.get)
+            span.attrs["kernel_tiers"] = dict(tiers)
         metrics = get_metrics()
         metrics.counter("fastsim.replications").inc(len(results))
         metrics.counter("fastsim.queries_processed").inc(queries)
+        for name, count in tiers.items():
+            metrics.counter(f"fastsim.tier.{name}").inc(count)
         if elapsed > 0.0:
+            span.attrs["queries_per_sec"] = round(queries / elapsed, 1)
             metrics.gauge("fastsim.replications_per_sec").set(
                 len(results) / elapsed
             )
@@ -82,14 +97,20 @@ def simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
     return results
 
 
-def _simulate_batch(specs: Iterable[ReplicationSpec]) -> list[RunResult]:
+def _simulate_batch(
+    specs: Iterable[ReplicationSpec], tier: str | None = None
+) -> tuple[list[RunResult], dict[str, int]]:
     results: list[RunResult] = []
+    tiers: dict[str, int] = {}
     for spec in specs:
-        run = simulate_replication(spec.config, spec.policy, as_rng(spec.seed))
+        run, executed = simulate_replication_tiered(
+            spec.config, spec.policy, as_rng(spec.seed), tier=tier
+        )
+        tiers[executed] = tiers.get(executed, 0) + 1
         if spec.key:
             run.meta["key"] = spec.key
         results.append(run)
-    return results
+    return results, tiers
 
 
 def batch_over_seeds(

@@ -1,33 +1,48 @@
-"""The single-replication fast kernel behind ``simulate_cluster``.
+"""Tiered single-replication kernels behind ``simulate_cluster``.
 
-Bit-for-bit equivalent to the object-based reference loop
+Every tier is bit-for-bit equivalent to the object-based reference loop
 (:func:`repro.simulation.engine.simulate_cluster_reference`): identical
 generator consumption, identical event ordering (static events carry
 lower sequence numbers than any departure, so they win time ties),
 identical floating-point accumulation order for the busy-time and
-result arrays.
+result arrays. Speed comes from structure, never from approximation.
 
-Speed comes from three structural changes, not from approximation:
+Three public tiers, selected automatically (``compiled`` when numba is
+installed, else ``numpy``) and overridable via the ``REPRO_KERNEL``
+environment variable or the ``tier=`` argument:
 
-* **Static schedule as arrays.** Arrivals and reissue-timer checks are
-  known before the loop starts; they are laid out in insertion-sequence
-  order and stable-sorted by time once (NumPy), then consumed by a moving
-  index. The legacy loop pushed/popped each through a 40k-entry heap.
-* **Tiny dynamic heap.** Each server serves one request at a time and a
-  started service is never rescheduled, so the only dynamic events are at
-  most ``n_servers`` pending departures.
-* **Flat state.** Per-server current-request fields and queues are plain
-  lists/deques indexed by server id; per-query records are Python lists
-  (scalar indexing on lists is several times faster than on ndarrays).
+* ``compiled`` — the structured-array core
+  (:func:`repro.fastsim._core.simulate_core`: flat contiguous arrays for
+  server occupancy, pooled linked-list queues, an array-backed departure
+  heap — no Python objects in the loop) JIT-compiled by numba
+  ``@njit(cache=True)``. Requires the ``[fast]`` extra; requesting it
+  without numba raises with an install hint rather than silently
+  downgrading. Needs statically dispatchable replications (see below).
+* ``numpy`` — the mandatory pure-Python/NumPy tier: the same pre-drawn
+  inputs and array-built static schedule consumed by a scalar loop over
+  flat lists/deques (scalar indexing on lists beats ndarrays under the
+  interpreter). Always available; the fallback for backlog-dependent
+  balancers, which call a Python ``LoadBalancer`` per dispatch.
+* ``reference`` — the readable object-based oracle loop. Queue
+  disciplines outside the three named families (``fifo``,
+  ``prioritized-fifo``, ``prioritized-lifo``) always take this path,
+  whatever tier was requested.
 
-Queue disciplines are specialized for the three named families
-(``fifo``, ``prioritized-fifo``, ``prioritized-lifo``); anything else
-(e.g. the Redis substrate's round-robin connection queue) falls back to
-the reference loop on the already-drawn inputs.
+A fourth value, ``interpreted``, runs the compiled tier's exact source
+uncompiled — never auto-selected, but it lets the equivalence suite
+certify the array core bit-for-bit on machines without numba.
+
+Structural fallbacks (unspecialized discipline → ``reference``,
+backlog-dependent balancer → ``numpy``) are silent per replication but
+never invisible: every replication increments the module's tier
+counters (:func:`tier_counts`), which the batch layer surfaces as span
+attributes and the scenario layer folds into
+``ScenarioReport.summary()["fastsim"]``.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from heapq import heappop, heappush
 
@@ -43,12 +58,15 @@ from ..simulation.engine import (
     draw_replication_inputs,
     simulate_cluster_reference,
 )
+from ..simulation.load_balancer import RoundRobinBalancer
 from ..simulation.queues import (
     FifoQueue,
     PrioritizedFifoQueue,
     PrioritizedLifoQueue,
     make_discipline,
 )
+from . import _core
+from ._compiled import HAVE_NUMBA, INSTALL_HINT, NUMBA_VERSION, compiled_core
 
 #: Queue modes the kernel specializes (exact class match — subclasses may
 #: override semantics and must take the reference path).
@@ -57,6 +75,59 @@ _QUEUE_MODES = {
     PrioritizedFifoQueue: 1,
     PrioritizedLifoQueue: 2,
 }
+
+#: Valid kernel tiers, fastest first. ``interpreted`` is the debug tier:
+#: the compiled core's source run without numba (opt-in only).
+TIERS = ("compiled", "numpy", "interpreted", "reference")
+
+_tier_counts = {tier: 0 for tier in TIERS}
+
+
+def tier_counts() -> dict[str, int]:
+    """Per-process count of replications executed by each tier.
+
+    Monotonic counters; callers wanting the tiers of one batch snapshot
+    before/after and diff (how the batch span attrs and the scenario
+    report are built).
+    """
+    return dict(_tier_counts)
+
+
+def kernel_info() -> dict:
+    """The tier-selection facts: availability, default, numba version."""
+    return {
+        "tiers": list(TIERS),
+        "numba_available": HAVE_NUMBA,
+        "numba_version": NUMBA_VERSION,
+        "default_tier": "compiled" if HAVE_NUMBA else "numpy",
+        "env_override": os.environ.get("REPRO_KERNEL") or None,
+    }
+
+
+def resolve_tier(tier: str | None = None) -> str | None:
+    """Validate an explicit/environment tier request.
+
+    Returns the requested tier name, or ``None`` for automatic selection
+    (no ``tier`` argument and ``REPRO_KERNEL`` unset, empty, or
+    ``auto``). Raises ``ValueError`` for unknown names and
+    ``RuntimeError`` for ``compiled`` without numba — an explicit request
+    must never silently downgrade.
+    """
+    if tier is None:
+        tier = os.environ.get("REPRO_KERNEL", "").strip().lower() or None
+    if tier is None or tier == "auto":
+        return None
+    if tier not in TIERS:
+        raise ValueError(
+            f"unknown kernel tier {tier!r} (from REPRO_KERNEL or tier=); "
+            f"expected one of {list(TIERS)} or 'auto'"
+        )
+    if tier == "compiled" and not HAVE_NUMBA:
+        raise RuntimeError(
+            f"REPRO_KERNEL=compiled requested but numba is not installed; "
+            f"{INSTALL_HINT}"
+        )
+    return tier
 
 
 def queue_mode(config: ClusterConfig) -> int | None:
@@ -69,18 +140,170 @@ def simulate_replication(
     config: ClusterConfig,
     policy: ReissuePolicy,
     rng: RngLike = None,
+    tier: str | None = None,
 ) -> RunResult:
-    """Run one replication through the fast kernel (reference fallback
-    for unspecialized queue disciplines)."""
+    """Run one replication through the fastest applicable kernel tier."""
+    return simulate_replication_tiered(config, policy, rng, tier=tier)[0]
+
+
+def simulate_replication_tiered(
+    config: ClusterConfig,
+    policy: ReissuePolicy,
+    rng: RngLike = None,
+    tier: str | None = None,
+) -> tuple[RunResult, str]:
+    """Run one replication; returns ``(result, executed_tier)``.
+
+    ``tier`` (or ``REPRO_KERNEL``) pins a tier; ``None`` selects
+    ``compiled`` when numba is installed, else ``numpy``. Two structural
+    fallbacks can downgrade a pinned tier — an unspecialized queue
+    discipline always runs ``reference``, and a backlog-dependent
+    balancer cannot run the static-dispatch array core so ``compiled`` /
+    ``interpreted`` degrade to ``numpy`` — which is why the *executed*
+    tier is returned (and counted in :func:`tier_counts`).
+    """
+    requested = resolve_tier(tier)
     rng = as_rng(rng)
     inputs = draw_replication_inputs(config, policy, rng)
     mode = queue_mode(config)
-    if mode is None:
-        return simulate_cluster_reference(config, policy, rng, inputs=inputs)
-    return _run_fast(config, inputs, rng, mode)
+
+    if requested == "reference" or mode is None:
+        executed = "reference"
+        result = simulate_cluster_reference(config, policy, rng, inputs=inputs)
+    else:
+        want_array = requested in ("compiled", "interpreted") or (
+            requested is None and HAVE_NUMBA
+        )
+        sids = _static_sids(config, inputs) if want_array else None
+        if sids is not None:
+            executed = "interpreted" if requested == "interpreted" else "compiled"
+            core = (
+                _core.simulate_core
+                if executed == "interpreted"
+                else compiled_core()
+            )
+            result = _run_array_core(config, inputs, mode, sids, core)
+        else:
+            executed = "numpy"
+            result = _run_numpy(config, inputs, rng, mode)
+    _tier_counts[executed] += 1
+    return result, executed
 
 
-def _run_fast(
+# ---------------------------------------------------------------------------
+# Shared pre-loop state: the static schedule and static server choices.
+# ---------------------------------------------------------------------------
+
+
+def _static_schedule(
+    config: ClusterConfig, inputs: ReplicationInputs
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Arrivals + reissue checks as time-sorted flat arrays.
+
+    Laid out in insertion-sequence order (arrival of query 0, its
+    checks, arrival of query 1, ...) and stable-sorted by time once, so
+    the result is exactly the reference heap's ``(time, seq)`` ordering.
+    Returns contiguous ``(time, is_check, payload)`` arrays shared by
+    the numpy tier (consumed as lists) and the array core (consumed
+    directly).
+    """
+    n = config.n_queries
+    plan_qids = inputs.plan_qids
+    n_plan = int(plan_qids.size)
+    total = n + n_plan
+    arrival_pos = np.zeros(n, dtype=np.int64)
+    np.cumsum(inputs.plan_counts[:-1], out=arrival_pos[1:])
+    arrival_pos += np.arange(n)
+    st_time = np.empty(total, dtype=np.float64)
+    st_payload = np.empty(total, dtype=np.int64)
+    st_check = np.ones(total, dtype=bool)
+    st_time[arrival_pos] = inputs.arrivals
+    st_payload[arrival_pos] = np.arange(n)
+    st_check[arrival_pos] = False
+    if n_plan:
+        st_time[st_check] = inputs.arrivals[plan_qids] + inputs.plan_delays
+        st_payload[st_check] = np.arange(n_plan)
+    order = np.argsort(st_time, kind="stable")
+    return st_time[order], st_check[order], st_payload[order]
+
+
+def _static_sids(
+    config: ClusterConfig, inputs: ReplicationInputs
+) -> np.ndarray | None:
+    """One server choice per potential dispatch, when statically known.
+
+    The uniform-random balancer's choices are pre-drawn by the
+    replication protocol (``inputs.sids``); the round-robin balancer is
+    a deterministic cycle in dispatch order and consumes no randomness,
+    so its choices are synthesized here. Backlog-dependent balancers
+    return ``None`` — they must be consulted per event.
+    """
+    if inputs.sids is not None:
+        return np.ascontiguousarray(inputs.sids, dtype=np.int64)
+    # Exact-type check: a RoundRobinBalancer subclass may override choose().
+    if type(inputs.balancer) is RoundRobinBalancer:
+        total = config.n_queries + int(inputs.plan_qids.size)
+        return np.arange(total, dtype=np.int64) % config.n_servers
+    return None
+
+
+# ---------------------------------------------------------------------------
+# compiled / interpreted tier: the structured-array core.
+# ---------------------------------------------------------------------------
+
+
+def _run_array_core(
+    config: ClusterConfig,
+    inputs: ReplicationInputs,
+    mode: int,
+    sids: np.ndarray,
+    core,
+) -> RunResult:
+    ev_time, ev_check, ev_payload = _static_schedule(config, inputs)
+    (
+        first_response,
+        primary_completion,
+        r_qid,
+        r_dispatch,
+        r_complete,
+        r_cancelled,
+        n_re,
+        busy_total,
+        now,
+    ) = core(
+        ev_time,
+        ev_check,
+        ev_payload,
+        np.ascontiguousarray(inputs.x, dtype=np.float64),
+        np.ascontiguousarray(inputs.plan_qids, dtype=np.int64),
+        np.ascontiguousarray(inputs.plan_y, dtype=np.float64),
+        sids,
+        config.n_servers,
+        mode,
+        config.cancel_queued,
+        float(config.cancel_overhead),
+    )
+    cancelled_rows = {int(i) for i in np.flatnonzero(r_cancelled[:n_re])}
+    return assemble_run_result(
+        config,
+        inputs.arrivals,
+        first_response,
+        primary_completion,
+        r_qid[:n_re],
+        r_dispatch[:n_re],
+        r_complete[:n_re],
+        cancelled_rows,
+        float(busy_total),
+        float(now),
+    )
+
+
+# ---------------------------------------------------------------------------
+# numpy tier: array-built schedule, scalar loop over flat lists.
+# ---------------------------------------------------------------------------
+
+
+def _run_numpy(
     config: ClusterConfig,
     inputs: ReplicationInputs,
     rng: np.random.Generator,
@@ -93,26 +316,10 @@ def _run_fast(
     n_plan = int(plan_qids.size)
     total = n + n_plan
 
-    # -- static schedule: insertion-sequence layout, stable sort by time.
-    # Sequence order matches the reference push order (arrival of query
-    # 0, its checks, arrival of query 1, ...), so the stable sort yields
-    # exactly the heap's (time, seq) ordering.
-    arrival_pos = np.zeros(n, dtype=np.int64)
-    np.cumsum(inputs.plan_counts[:-1], out=arrival_pos[1:])
-    arrival_pos += np.arange(n)
-    st_time = np.empty(total, dtype=np.float64)
-    st_payload = np.empty(total, dtype=np.int64)
-    st_check = np.ones(total, dtype=bool)
-    st_time[arrival_pos] = arrivals
-    st_payload[arrival_pos] = np.arange(n)
-    st_check[arrival_pos] = False
-    if n_plan:
-        st_time[st_check] = arrivals[plan_qids] + inputs.plan_delays
-        st_payload[st_check] = np.arange(n_plan)
-    order = np.argsort(st_time, kind="stable")
-    ev_time = st_time[order].tolist()
-    ev_check = st_check[order].tolist()
-    ev_payload = st_payload[order].tolist()
+    st_time, st_check, st_payload = _static_schedule(config, inputs)
+    ev_time = st_time.tolist()
+    ev_check = st_check.tolist()
+    ev_payload = st_payload.tolist()
 
     # -- flat replication state.
     xs = inputs.x.tolist()

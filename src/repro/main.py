@@ -591,6 +591,12 @@ def run_bench_command(args) -> int:
         print()
         print(bench.render_trend(history))
         print()
+        if record.get("skipped_benches"):
+            print(
+                "skipped on this machine: "
+                + ", ".join(record["skipped_benches"])
+                + " (install the [fast] extra for the compiled kernel tier)"
+            )
         if gate.skipped:
             print(f"no prior data (pass): {', '.join(gate.skipped)}")
         for reg in gate.regressions:

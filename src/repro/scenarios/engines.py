@@ -136,6 +136,8 @@ class ScenarioReport:
                 "cache_writes": pipe.get("cache_writes", 0),
                 "per_wave": pipe.get("per_wave", []),
             }
+        if self.meta.get("fastsim"):
+            out["fastsim"] = dict(self.meta["fastsim"])
         return out
 
     def render(self) -> str:
@@ -154,6 +156,16 @@ class ScenarioReport:
             verdict = "MET" if self.sla_met else "MISSED"
             lines.append(
                 f"  SLA {obj.sla_ms:g} ms           {verdict:>10s}"
+            )
+        fastsim = self.meta.get("fastsim")
+        if fastsim and fastsim.get("kernel_tier"):
+            tiers = fastsim.get("kernel_tiers", {})
+            breakdown = ", ".join(
+                f"{name} x{count}" for name, count in sorted(tiers.items())
+            )
+            lines.append(
+                f"  kernel tier          {fastsim['kernel_tier']:>10s}"
+                f"  ({breakdown})"
             )
         pipe = self.meta.get("pipeline")
         if pipe:
@@ -202,16 +214,39 @@ def run_reference(
 @register_engine("fastsim")
 def run_fastsim(
     scenario: Scenario, seeds: Sequence[int], **options
-) -> list[RunResult]:
-    """Seed-paired replications through the fastsim batch layer."""
-    _reject_options("fastsim", options)
-    from ..fastsim import run_replications
+) -> tuple[list[RunResult], dict]:
+    """Seed-paired replications through the fastsim batch layer.
 
-    return run_replications(
+    Besides the runs, reports which kernel tiers actually executed
+    (``meta["fastsim"]``, surfaced in ``ScenarioReport.summary()``), so
+    a structural fallback — numba missing, an unspecialized queue
+    discipline — is visible instead of just slow.
+    """
+    _reject_options("fastsim", options)
+    from ..fastsim import run_replications, tier_counts
+
+    before = tier_counts()
+    runs = run_replications(
         scenario.build_system(),
         scenario.build_policy(),
         [int(s) for s in seeds],
     )
+    executed = {
+        name: count - before.get(name, 0)
+        for name, count in tier_counts().items()
+        if count - before.get(name, 0) > 0
+    }
+    meta = {
+        "fastsim": {
+            "kernel_tiers": executed,
+            # Dominant tier, or None when no replication touched the
+            # simulation kernel (e.g. closed-form executors).
+            "kernel_tier": (
+                max(executed, key=executed.get) if executed else None
+            ),
+        }
+    }
+    return runs, meta
 
 
 def _reject_options(engine: str, options: dict) -> None:

@@ -1,15 +1,23 @@
-"""Seed-for-seed equivalence: fastsim kernel vs the reference event loop.
+"""Seed-for-seed equivalence: fastsim kernel tiers vs the reference loop.
 
-The acceptance bar for the batch layer: for any fixed seed, the fast
-kernel must produce a ``RunResult`` bit-for-bit identical to
+The acceptance bar for the batch layer: for any fixed seed, every fast
+kernel tier must produce a ``RunResult`` bit-for-bit identical to
 ``simulate_cluster_reference`` — same latencies, same pair logs, same
 utilization floats, same meta counters. Covered axes: policy family,
 queue discipline, load balancer, cancellation, rate spec, and the
 ``sample_reissue_for`` service-model protocol.
+
+The whole matrix runs once per kernel tier (an autouse fixture pins
+``REPRO_KERNEL``): the mandatory ``numpy`` tier, the ``interpreted``
+tier (the compiled tier's structured-array core run without numba — so
+the core's exact source is certified even on machines without numba),
+and the numba-``compiled`` tier, skip-marked when numba is absent.
 """
 
 import numpy as np
 import pytest
+
+from repro.fastsim._compiled import HAVE_NUMBA
 
 from repro.core.policies import (
     ImmediateReissue,
@@ -28,6 +36,26 @@ from repro.simulation.engine import (
     simulate_cluster_reference,
 )
 from repro.simulation.workloads import ServiceModel
+
+
+@pytest.fixture(
+    autouse=True,
+    params=[
+        "numpy",
+        "interpreted",
+        pytest.param(
+            "compiled",
+            marks=pytest.mark.skipif(
+                not HAVE_NUMBA, reason="numba not installed ([fast] extra)"
+            ),
+        ),
+    ],
+)
+def kernel_tier(request, monkeypatch):
+    """Pin the kernel tier for every test in this module via the same
+    environment switch users reach for (``REPRO_KERNEL``)."""
+    monkeypatch.setenv("REPRO_KERNEL", request.param)
+    return request.param
 
 
 def make_config(**over):

@@ -176,12 +176,20 @@ class TestAllEnginesOneScenario:
             reports["reference"].runs[0], reports["pipeline"].runs[0]
         )
         # Every engine: the same report shape with the same summary keys.
-        # The one sanctioned exception is the "pipeline" execution
-        # section (cache hits/misses, per-wave stats) — execution
-        # detail only that engine can report.
+        # The sanctioned exceptions are the per-engine execution
+        # sections — "pipeline" (cache hits/misses, per-wave stats) and
+        # "fastsim" (which kernel tier actually executed) — execution
+        # detail only those engines can report.
         summaries = [r.summary() for r in reports.values()]
         assert reports["pipeline"].summary()["pipeline"]["per_wave"]
-        core = [{k for k in s if k != "pipeline"} for s in summaries]
+        assert reports["fastsim"].summary()["fastsim"]["kernel_tier"] in (
+            "compiled",
+            "numpy",
+        )
+        core = [
+            {k for k in s if k not in ("pipeline", "fastsim")}
+            for s in summaries
+        ]
         assert all(keys == core[0] for keys in core)
         for report in reports.values():
             assert report.scenario is sc or report.scenario == sc
