@@ -1,0 +1,182 @@
+"""Scale proof for the out-of-core trace store (``BENCH_store.json``).
+
+Fits the optimal SingleR policy from a >=10M-sample synthetic log two
+ways, each in its own subprocess so ``ru_maxrss`` isolates the memory
+story:
+
+* **store** — the log stays on disk as a sorted ``.store`` file; the
+  chunked sweep walks its mmap in fixed-size chunks, dropping pages
+  (``madvise(MADV_DONTNEED)``) as it goes. Peak RSS above the
+  interpreter baseline must stay well below the raw array size.
+* **in-memory** — the log is materialized and swept by the vectorized
+  in-memory fit; peak RSS grows by a multiple of the raw array size
+  (the array itself plus the sweep's O(N) temporaries).
+
+Both fits must agree bit for bit — that is the tentpole contract,
+asserted here at scale and by ``tests/test_store_fit.py`` with
+hypothesis at small sizes.
+
+Run ``python benchmarks/bench_store.py`` to refresh the committed
+``BENCH_store.json`` (set ``REPRO_BENCH_STORE_SAMPLES`` to scale).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+PERCENTILE = 0.99
+BUDGET = 0.05
+DEFAULT_SAMPLES = 10_000_000
+
+# Runs in a child interpreter; prints one JSON line with peak RSS (bytes),
+# wall time, and the fitted parameters.
+_CHILD = r"""
+import json, resource, sys, time
+path, mode, pct, budget = sys.argv[1:5]
+
+def rss_bytes():
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+from repro.optimize.storefit import compute_optimal_singler_chunked
+from repro.optimize.vectorized import compute_optimal_singler_vectorized
+from repro.store import EmpiricalStore, TraceReader
+
+baseline = rss_bytes()
+t0 = time.perf_counter()
+if mode == "store":
+    store = EmpiricalStore(path)
+    rx = store.sorted_samples
+    fit = compute_optimal_singler_chunked(
+        rx, rx, float(pct), float(budget), release=store.release
+    )
+else:
+    samples = TraceReader(path).read_segment("primary")
+    fit = compute_optimal_singler_vectorized(
+        samples, samples, float(pct), float(budget)
+    )
+elapsed = time.perf_counter() - t0
+print(json.dumps({
+    "baseline_rss_bytes": baseline,
+    "peak_rss_bytes": rss_bytes(),
+    "elapsed_s": elapsed,
+    "fit": {
+        "delay": fit.delay,
+        "prob": fit.prob,
+        "predicted_tail": fit.predicted_tail,
+        "predicted_success": fit.predicted_success,
+        "baseline_tail": fit.baseline_tail,
+    },
+}))
+"""
+
+
+def _write_store(path: Path, n_samples: int, seed: int = 0xB10C5) -> None:
+    from repro.store import TraceWriter
+
+    rng = np.random.default_rng(seed)
+    samples = np.sort(rng.lognormal(2.0, 0.6, n_samples))
+    with TraceWriter(path, sorted=True) as writer:
+        writer.append(samples)
+
+
+def _run_child(path: Path, mode: str) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(path), mode,
+         str(PERCENTILE), str(BUDGET)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    out = json.loads(proc.stdout)
+    out["fit_rss_bytes"] = out["peak_rss_bytes"] - out["baseline_rss_bytes"]
+    return out
+
+
+def measure(n_samples: int = DEFAULT_SAMPLES) -> dict:
+    """Build the synthetic store and fit it both ways, subprocess each."""
+    raw_bytes = n_samples * 8
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.store"
+        _write_store(path, n_samples)
+        store_run = _run_child(path, "store")
+        memory_run = _run_child(path, "memory")
+    for run in (store_run, memory_run):
+        run["samples_per_s"] = round(n_samples / max(run["elapsed_s"], 1e-9))
+    return {
+        "n_samples": n_samples,
+        "raw_array_bytes": raw_bytes,
+        "percentile": PERCENTILE,
+        "budget": BUDGET,
+        "store": store_run,
+        "in_memory": memory_run,
+        "fit_bit_identical": store_run["fit"] == memory_run["fit"],
+        "store_fit_rss_over_raw": round(
+            store_run["fit_rss_bytes"] / raw_bytes, 4
+        ),
+        "memory_fit_rss_over_raw": round(
+            memory_run["fit_rss_bytes"] / raw_bytes, 4
+        ),
+        "fit_throughput_ratio": round(
+            store_run["samples_per_s"] / max(memory_run["samples_per_s"], 1),
+            4,
+        ),
+    }
+
+
+def test_store_fit_bounded_rss():
+    """Acceptance (reduced scale for CI): the store-backed fit matches the
+    in-memory fit bit for bit while its working set stays a fraction of
+    the raw array — the in-memory side pays at least the full array."""
+    report = measure(n_samples=4_000_000)
+    print()
+    print(
+        "store fit RSS over raw:", report["store_fit_rss_over_raw"],
+        "| in-memory:", report["memory_fit_rss_over_raw"],
+    )
+    assert report["fit_bit_identical"], (
+        report["store"]["fit"], report["in_memory"]["fit"],
+    )
+    assert report["store"]["fit_rss_bytes"] < report["raw_array_bytes"] / 2
+    assert report["in_memory"]["fit_rss_bytes"] >= report["raw_array_bytes"]
+
+
+def main():
+    from _bench_utils import persist_bench_record
+
+    n = int(os.environ.get("REPRO_BENCH_STORE_SAMPLES", DEFAULT_SAMPLES))
+    report = measure(n)
+    path = persist_bench_record("store", report)
+    raw_mb = report["raw_array_bytes"] / 2**20
+    print(f"{report['n_samples']:,} samples ({raw_mb:.0f} MB raw):")
+    for mode in ("store", "in_memory"):
+        run = report[mode]
+        print(
+            f"  {mode:>9}: {run['elapsed_s']:7.2f}s  "
+            f"{run['samples_per_s']:>12,} samples/s  "
+            f"fit RSS {run['fit_rss_bytes'] / 2**20:8.1f} MB"
+        )
+    print(
+        "fit bit-identical:", report["fit_bit_identical"],
+        "| store RSS / raw:", report["store_fit_rss_over_raw"],
+    )
+    if path is not None:
+        print("recorded ->", path)
+    if not report["fit_bit_identical"]:
+        raise SystemExit("store-backed fit diverged from the in-memory fit")
+    if report["store"]["fit_rss_bytes"] >= report["raw_array_bytes"] / 2:
+        raise SystemExit("store fit RSS not bounded below half the raw array")
+
+
+if __name__ == "__main__":
+    main()

@@ -276,6 +276,59 @@ def bench_serving(
     }
 
 
+def bench_store(n_samples: int = 1_000_000, repeats: int = 2) -> dict:
+    """Out-of-core store-backed SingleR fit vs the in-memory sweep.
+
+    Both sides fit the same million-sample log; the store side sweeps a
+    sorted ``.store`` mmap in fixed chunks (releasing pages as it goes)
+    while the in-memory side runs the vectorized sweep on the resident
+    array. The ratio is the *throughput cost of going out-of-core* —
+    stable across machines, and a regression here means the chunked
+    sweep started doing extra work per sample.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from .optimize.storefit import compute_optimal_singler_chunked
+    from .optimize.vectorized import compute_optimal_singler_vectorized
+    from .store import EmpiricalStore, TraceWriter
+
+    percentile, budget = 0.99, 0.05
+    rng = np.random.default_rng(0xB10C5)
+    samples = rng.lognormal(2.0, 0.6, n_samples)
+    sorted_samples = np.sort(samples)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.store"
+        with TraceWriter(path, sorted=True) as writer:
+            writer.append(sorted_samples)
+        store = EmpiricalStore(path)
+        rx = store.sorted_samples
+
+        def in_memory():
+            compute_optimal_singler_vectorized(
+                samples, samples, percentile, budget
+            )
+
+        def out_of_core():
+            compute_optimal_singler_chunked(
+                rx, rx, percentile, budget, release=store.release
+            )
+
+        in_memory()
+        out_of_core()
+        baseline_s = _best_of(in_memory, repeats)
+        optimized_s = _best_of(out_of_core, repeats)
+        store.close()
+    return {
+        "metric": "store.fit_throughput",
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "detail": f"{n_samples:,} samples, chunked mmap sweep vs resident",
+    }
+
+
 #: name -> callable(repeats=...) -> result dict, or None when the bench
 #: does not apply on this machine (e.g. the compiled kernel tier without
 #: numba). Order is display order.
@@ -285,6 +338,7 @@ SUITE: dict[str, Callable[..., dict | None]] = {
     "optimize": bench_optimize,
     "pipeline": bench_pipeline,
     "serving": bench_serving,
+    "store": bench_store,
 }
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..structures.range2d import DominanceSweep, MergeSortTree
-from .optimizer import SingleRFit, discrete_cdf
+from .optimizer import SingleRFit, discrete_cdf, quantile_higher_sorted
 
 
 class ConditionalReissueCdf:
@@ -40,6 +40,8 @@ def compute_optimal_singler_correlated(
     pair_y,
     percentile: float,
     budget: float,
+    *,
+    presorted: bool = False,
 ) -> SingleRFit:
     """Fit the optimal SingleR policy accounting for X/Y correlation.
 
@@ -55,9 +57,16 @@ def compute_optimal_singler_correlated(
         As in :func:`repro.core.optimizer.compute_optimal_singler`.
 
     The search is the Figure-1 sweep with line 19's ``Pr(Y <= t-d)``
-    replaced by ``Pr(Y <= t-d | X > t)``.
+    replaced by ``Pr(Y <= t-d | X > t)``. ``presorted=True`` skips the
+    sort *copy* of ``rx`` — the store-backed path hands in the sorted
+    mmap of an :class:`repro.store.EmpiricalStore` directly, so only the
+    (small) pair log lives in RAM.
     """
-    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    rx = (
+        np.asarray(rx, dtype=np.float64)
+        if presorted
+        else np.sort(np.asarray(rx, dtype=np.float64))
+    )
     pair_x = np.asarray(pair_x, dtype=np.float64)
     pair_y = np.asarray(pair_y, dtype=np.float64)
     if rx.size == 0:
@@ -112,7 +121,13 @@ def compute_optimal_singler_correlated(
     success = p_x_le_t + min(1.0, budget / max(p_x_ge_d, 1e-300)) * (
         1.0 - p_x_le_t
     ) * cond(t, t - d_star)
-    baseline = float(np.quantile(rx, percentile, method="higher"))
+    # Bit-identical to np.quantile(..., method="higher") on sorted data,
+    # without copying a potentially memory-mapped rx.
+    baseline = (
+        quantile_higher_sorted(rx, percentile)
+        if presorted
+        else float(np.quantile(rx, percentile, method="higher"))
+    )
     return SingleRFit(
         delay=float(d_star),
         prob=float(q),

@@ -72,6 +72,23 @@ def discrete_cdf(sorted_samples: np.ndarray, t: float) -> float:
     return float(np.searchsorted(sorted_samples, t, side="left")) / n
 
 
+def quantile_higher_sorted(sorted_samples: np.ndarray, p: float) -> float:
+    """``np.quantile(x, p, method="higher")`` for already-sorted ``x``.
+
+    On a sorted array the "higher" rule is the order statistic at
+    ``ceil((n - 1) * p)`` — the same virtual-index arithmetic NumPy
+    performs, bit for bit, without the copy-and-partition ``np.quantile``
+    would do (which matters when ``x`` is a multi-GB store mmap).
+    """
+    n = sorted_samples.shape[0]
+    if n == 0:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"quantile probabilities must be in [0, 1], got {p}")
+    idx = int(np.ceil((n - 1) * np.float64(p)))
+    return float(sorted_samples[idx])
+
+
 def singler_success_rate(
     rx_sorted: np.ndarray,
     ry_sorted: np.ndarray,
@@ -222,9 +239,13 @@ def compute_optimal_singled(
     )
 
 
-def fit_singled_policy(rx, budget: float) -> SingleD:
+def fit_singled_policy(rx, budget: float, *, presorted: bool = False) -> SingleD:
     """Pick the SingleD delay from a primary log for a budget (Eq. 2)."""
-    rx = np.sort(np.asarray(rx, dtype=np.float64))
+    rx = (
+        np.asarray(rx, dtype=np.float64)
+        if presorted
+        else np.sort(np.asarray(rx, dtype=np.float64))
+    )
     if rx.size == 0:
         raise ValueError("rx must be non-empty")
     if not 0.0 < budget <= 1.0:

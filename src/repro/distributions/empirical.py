@@ -22,7 +22,7 @@ class Empirical(Distribution):
     always do.
     """
 
-    def __init__(self, samples):
+    def __init__(self, samples, *, presorted: bool = False):
         samples = np.asarray(samples, dtype=np.float64)
         if samples.ndim != 1:
             raise ValueError("samples must be a 1-D array")
@@ -30,7 +30,14 @@ class Empirical(Distribution):
             raise ValueError("samples must be non-empty")
         if np.any(~np.isfinite(samples)):
             raise ValueError("samples must be finite")
-        self._sorted = np.sort(samples)
+        if presorted:
+            # Fast path for already-sorted input (store-backed logs, the
+            # solver hot loops): keeps a *view* instead of a sorted copy.
+            if samples.size > 1 and np.any(np.diff(samples) < 0.0):
+                raise ValueError("presorted=True but samples are not sorted")
+            self._sorted = samples
+        else:
+            self._sorted = np.sort(samples)
         self._n = samples.size
 
     @property

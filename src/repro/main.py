@@ -17,6 +17,8 @@ runtime — driven by the declarative Scenario API:
     repro optimize my.toml --solver simulated --trials 8
     repro trace queueing-tail-quick --engine fastsim   # traced run + artifacts
     repro bench                          # perf suite + regression gate
+    repro store pack trace.csv trace.store --sort   # out-of-core trace store
+    repro store info trace.store
     repro figure list                    # paper figures (was repro-experiment)
     repro figure run fig3 --scale quick
     repro serve --backend drifting --policy auto   (was repro-serve)
@@ -47,6 +49,11 @@ from .serving.cli import (
     configure_serve_parser,
     run_loadgen_command,
     run_serve_command,
+)
+from .store.cli import (
+    STORE_DESCRIPTION,
+    configure_store_parser,
+    run_store_command,
 )
 
 
@@ -298,6 +305,13 @@ def run_optimize_command(args) -> int:
                 "distributions: give the scenario a [workload.service] "
                 "table (or use a sample-log / system solver)"
             )
+        evidence: dict = {}
+        if objective.trace is not None:
+            # Sample-log evidence from a recorded trace: a sorted .store
+            # opens lazily (out-of-core chunked fit), CSV loads whole.
+            from .optimize.storefit import load_trace_evidence
+
+            evidence = load_trace_evidence(objective.trace)
         request = FitRequest(
             percentile=(
                 args.percentile
@@ -312,6 +326,7 @@ def run_optimize_command(args) -> int:
             seed=int(seeds[0]),
             seeds=tuple(int(s) for s in seeds),
             trials=args.trials,
+            **evidence,
         )
         t0 = time.perf_counter()
         result = solve(request, solver)
@@ -655,6 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_bench_parser(bench_p)
 
+    store_p = sub.add_parser(
+        "store",
+        help="pack, inspect, sort, or preview out-of-core trace stores",
+        description=STORE_DESCRIPTION,
+    )
+    configure_store_parser(store_p)
+
     fig_p = sub.add_parser(
         "figure", help="regenerate paper figures (was repro-experiment)"
     )
@@ -698,6 +720,8 @@ def main(argv=None) -> int:
         return run_trace_command(args)
     if args.command == "bench":
         return run_bench_command(args)
+    if args.command == "store":
+        return run_store_command(args)
     if args.command == "figure":
         return run_figure_command(args)
     if args.command == "serve":

@@ -30,6 +30,15 @@ from ..distributions.base import RngLike
 FAMILIES = ("single-r", "single-d")
 
 
+def _as_log(value) -> np.ndarray:
+    """A float64 sample array from an array-like or a ``sorted_samples``
+    holder (``Empirical`` / ``EmpiricalStore``), without copying mmaps."""
+    samples = getattr(value, "sorted_samples", None)
+    if samples is not None:
+        value = samples
+    return np.asarray(value, dtype=np.float64)
+
+
 @dataclass(frozen=True, eq=False)
 class FitRequest:
     """What to solve for, plus the evidence to solve it from."""
@@ -83,15 +92,20 @@ class FitRequest:
 
     # -- evidence accessors ---------------------------------------------
     def sample_logs(self, solver: str) -> tuple[np.ndarray, np.ndarray]:
-        """``(rx, ry)`` as sorted-ready float arrays, or a named error."""
+        """``(rx, ry)`` as sorted-ready float arrays, or a named error.
+
+        ``rx``/``ry`` may also be sample-holding distribution objects
+        (an in-RAM ``Empirical`` or a store-backed ``EmpiricalStore``):
+        anything exposing ``sorted_samples`` contributes that array —
+        for a store that is the mmap view, so no copy happens here.
+        """
         if self.rx is None:
             raise ValueError(
                 f"solver {solver!r} needs a primary response-time log: "
                 "pass rx= (and optionally ry=), or a system= to sample one"
             )
-        rx = np.asarray(self.rx, dtype=np.float64)
-        ry = np.asarray(self.ry if self.ry is not None else self.rx,
-                        dtype=np.float64)
+        rx = _as_log(self.rx)
+        ry = _as_log(self.ry if self.ry is not None else self.rx)
         return rx, ry
 
     def pair_logs(self, solver: str) -> tuple[np.ndarray, np.ndarray]:

@@ -37,6 +37,11 @@ from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..registry import Registry
 from .request import FitRequest, FitResult
+from .storefit import (
+    compute_optimal_singled_chunked,
+    compute_optimal_singler_chunked,
+    resolve_store_logs,
+)
 from .vectorized import (
     compute_optimal_singled_vectorized,
     compute_optimal_singler_vectorized,
@@ -100,24 +105,40 @@ def _baseline_logs(request: FitRequest, solver: str, rng=None):
     summary="Figure-1 sweep over response-time logs (vectorized)",
 )
 def solve_empirical(request: FitRequest) -> FitResult:
-    rx, ry = _baseline_logs(request, "empirical")
-    if request.family == "single-d":
-        fit = compute_optimal_singled_vectorized(
-            rx, ry, request.percentile, request.budget
-        )
-        policy = SingleD(fit.delay)
+    store_logs = resolve_store_logs(request)
+    meta: dict = {}
+    if store_logs is not None:
+        # Out-of-core path: the sorted store mmap is swept in chunks,
+        # bit-for-bit equal to the in-memory sweep on the same samples.
+        rx, ry, release = store_logs
+        meta["store"] = True
+        if request.family == "single-d":
+            fit = compute_optimal_singled_chunked(
+                rx, ry, request.percentile, request.budget, release=release
+            )
+        else:
+            fit = compute_optimal_singler_chunked(
+                rx, ry, request.percentile, request.budget, release=release
+            )
     else:
-        fit = compute_optimal_singler_vectorized(
-            rx, ry, request.percentile, request.budget
-        )
-        policy = fit.policy
+        rx, ry = _baseline_logs(request, "empirical")
+        if request.family == "single-d":
+            fit = compute_optimal_singled_vectorized(
+                rx, ry, request.percentile, request.budget
+            )
+        else:
+            fit = compute_optimal_singler_vectorized(
+                rx, ry, request.percentile, request.budget
+            )
+    policy = SingleD(fit.delay) if request.family == "single-d" else fit.policy
+    meta["n_samples"] = int(rx.size)
     return FitResult(
         solver="empirical",
         family=request.family,
         policy=policy,
         request=request,
         fit=fit,
-        meta={"n_samples": int(rx.size)},
+        meta=meta,
     )
 
 
@@ -142,8 +163,17 @@ def correlated_probe_logs(system, budget: float, rng: RngLike = None):
     summary="§4.2 conditional-CDF sweep over paired (X, Y) logs",
 )
 def solve_correlated(request: FitRequest) -> FitResult:
+    presorted = False
     if request.pair_x is not None and request.pair_y is not None:
-        rx, _ = request.sample_logs("correlated")
+        store_logs = resolve_store_logs(request)
+        if store_logs is not None:
+            # Store-backed rx: the sorted mmap goes straight into the
+            # sweep (presorted skips the sort copy); only the small
+            # pair log lives in RAM.
+            rx = store_logs[0]
+            presorted = True
+        else:
+            rx, _ = request.sample_logs("correlated")
         pair_x, pair_y = request.pair_logs("correlated")
     else:
         system = request.resolved_system("correlated")
@@ -151,18 +181,25 @@ def solve_correlated(request: FitRequest) -> FitResult:
             system, request.budget, as_rng(request.seed)
         )
     fit = compute_optimal_singler_correlated(
-        rx, pair_x, pair_y, request.percentile, request.budget
+        rx,
+        pair_x,
+        pair_y,
+        request.percentile,
+        request.budget,
+        presorted=presorted,
     )
     meta = {
         "n_samples": int(np.asarray(rx).size),
         "n_pairs": int(np.asarray(pair_x).size),
     }
+    if presorted:
+        meta["store"] = True
     if request.family == "single-d":
         # SingleD couples its delay to the budget (Eq. 2); reusing the
         # SingleR d* (fitted jointly with q < 1) would overspend at
         # q = 1. The SingleRFit diagnostics describe the SingleR
         # optimum, not this policy, so they are not attached.
-        policy = fit_singled_policy(rx, request.budget)
+        policy = fit_singled_policy(rx, request.budget, presorted=presorted)
         meta["note"] = (
             "Eq.-2 budget-matched SingleD delay; no tail prediction "
             "(the correlated sweep predicts the SingleR optimum)"

@@ -6,6 +6,14 @@ every cell, upgrading ``quick`` → ``standard`` re-uses the replications
 whose seeds and sizes carry over, and two figures evaluating the same
 (system, policy, seed) replication share one entry. Entries are written
 atomically (tmp + rename) so concurrent runs can share a directory.
+
+Large array payloads take the out-of-core path: any 1-D float64 array of
+at least ``REPRO_STORE_CACHE_THRESHOLD`` elements (default 262144, i.e.
+2 MiB) is spilled out of the pickle into a per-entry ``repro.store``
+sidecar file — written block-by-block with CRC-32s instead of as one
+giant pickle blob — and the pickle keeps only a persistent-id stub.
+Loading restores the arrays bit for bit; a corrupt or missing sidecar
+makes the entry a miss like any other unreadable pickle.
 """
 
 from __future__ import annotations
@@ -15,7 +23,94 @@ import pickle
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 _MISS = object()
+
+#: 1-D float64 arrays with at least this many elements spill to a store
+#: sidecar (2 MiB of payload at the default).
+DEFAULT_STORE_THRESHOLD = 262_144
+
+_PID_KIND = "repro-store-array"
+
+
+def _store_threshold() -> int:
+    raw = os.environ.get("REPRO_STORE_CACHE_THRESHOLD", "")
+    try:
+        return int(raw) if raw else DEFAULT_STORE_THRESHOLD
+    except ValueError:
+        return DEFAULT_STORE_THRESHOLD
+
+
+class _SpillPickler(pickle.Pickler):
+    """Pickler that diverts large float64 arrays into a store file."""
+
+    def __init__(self, fh, store_path: Path, threshold: int):
+        super().__init__(fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store_path = store_path
+        self._threshold = threshold
+        self._writer = None
+        self._count = 0
+
+    def persistent_id(self, obj):
+        if not (
+            isinstance(obj, np.ndarray)
+            and obj.ndim == 1
+            and obj.dtype == np.float64
+            and obj.size >= self._threshold
+        ):
+            return None
+        from ..store import TraceWriter
+
+        if self._writer is None:
+            self._writer = TraceWriter(self._store_path)
+        name = f"arr{self._count}"
+        self._count += 1
+        self._writer.begin_segment(name, 1)
+        self._writer.append(obj)
+        return (_PID_KIND, name)
+
+    def finish(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+    def abort(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer._fh.close()
+            except Exception:
+                pass
+            for leftover in (
+                self._store_path,
+                Path(os.fspath(self._store_path) + ".meta.json"),
+            ):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+
+    @property
+    def spilled(self) -> bool:
+        return self._writer is not None
+
+
+class _SpillUnpickler(pickle.Unpickler):
+    """Unpickler that restores spilled arrays from the store sidecar."""
+
+    def __init__(self, fh, store_path: Path):
+        super().__init__(fh)
+        self._store_path = store_path
+        self._reader = None
+
+    def persistent_load(self, pid):
+        kind, name = pid
+        if kind != _PID_KIND:
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        if self._reader is None:
+            from ..store import TraceReader
+
+            self._reader = TraceReader(self._store_path)
+        return self._reader.read_segment(name)
 
 
 class ResultCache:
@@ -29,18 +124,22 @@ class ResultCache:
     def _path(self, fp: str) -> Path:
         return self.root / fp[:2] / f"{fp}.pkl"
 
+    def _store_path(self, fp: str) -> Path:
+        return self.root / fp[:2] / f"{fp}.store"
+
     def get(self, fp: str, default=None):
         """The cached value for ``fp``; ``default`` on miss or corruption.
 
-        Any load failure counts as a miss — a truncated pickle, or an
-        entry written by an older code version whose classes no longer
-        unpickle (AttributeError/ImportError) — because the contract is
+        Any load failure counts as a miss — a truncated pickle, a
+        checksum-failing store sidecar, or an entry written by an older
+        code version whose classes no longer unpickle
+        (AttributeError/ImportError) — because the contract is
         "recompute when the cache can't serve", never "crash the run".
         """
         path = self._path(fp)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                return _SpillUnpickler(fh, self._store_path(fp)).load()
         except Exception:
             return default
 
@@ -50,14 +149,30 @@ class ResultCache:
     def put(self, fp: str, value) -> None:
         path = self._path(fp)
         path.parent.mkdir(parents=True, exist_ok=True)
+        store_path = self._store_path(fp)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        store_tmp = Path(f"{tmp}.store")
+        pickler = None
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickler = _SpillPickler(fh, store_tmp, _store_threshold())
+                pickler.dump(value)
+                pickler.finish()
+            if pickler.spilled:
+                # Sidecar metadata first, then data, then the pickle that
+                # references them: a crash mid-sequence leaves an entry
+                # that loads as a miss, never one that loads wrong.
+                os.replace(
+                    f"{store_tmp}.meta.json", f"{store_path}.meta.json"
+                )
+                os.replace(store_tmp, store_path)
             os.replace(tmp, path)
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            if pickler is not None:
+                pickler.abort()
+            for leftover in (tmp, store_tmp, f"{store_tmp}.meta.json"):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
             raise

@@ -138,6 +138,10 @@ class ScenarioReport:
             }
         if self.meta.get("fastsim"):
             out["fastsim"] = dict(self.meta["fastsim"])
+        if self.meta.get("store"):
+            # Out-of-core trace-store activity during this run: block
+            # reads/writes and cache hits (deltas, counted by Session).
+            out["store"] = dict(self.meta["store"])
         return out
 
     def render(self) -> str:
@@ -185,6 +189,14 @@ class ScenarioReport:
                     f"misses {w['cache_misses']:<5d}"
                     f"deduped {w['deduped_cells']}"
                 )
+        store = self.meta.get("store")
+        if store:
+            lines.append(
+                f"  trace store          "
+                f"blocks {store.get('blocks_loaded', 0)}  "
+                f"hits {store.get('cache_hits', 0)}  "
+                f"bytes {store.get('bytes_read', 0)}"
+            )
         return "\n".join(lines)
 
 

@@ -206,11 +206,13 @@ class Objective:
     budget: float | None = None  # declared reissue budget (informational)
     sla_ms: float | None = None  # optional latency target at `percentile`
     solve: str | None = None  # repro.optimize solver kind, e.g. "empirical"
+    trace: str | None = None  # sample-log evidence: a CSV or .store path
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "Objective":
         d = dict(d)
         solve = d.pop("solve", None)
+        trace = d.pop("trace", None)
         out = cls(
             percentile=float(d.pop("percentile", 0.99)),
             budget=(lambda b: None if b is None else float(b))(
@@ -220,11 +222,12 @@ class Objective:
                 d.pop("sla_ms", None)
             ),
             solve=None if solve is None else str(solve),
+            trace=None if trace is None else str(trace),
         )
         if d:
             raise ValueError(
                 f"unknown [objective] fields: {sorted(d)}; "
-                "expected percentile / budget / sla_ms / solve"
+                "expected percentile / budget / sla_ms / solve / trace"
             )
         return out
 
@@ -236,6 +239,8 @@ class Objective:
             out["sla_ms"] = self.sla_ms
         if self.solve is not None:
             out["solve"] = self.solve
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
 
@@ -418,6 +423,11 @@ class Scenario:
                     f"unknown objective.solve solver "
                     f"{self.objective.solve!r}; registered: {solver_names()}"
                 )
+        if self.objective.trace is not None and not self.objective.trace:
+            problems.append(
+                "objective.trace must be a trace-log path (CSV or .store); "
+                "omit the field to fit from a live system run"
+            )
         if not self.scale.seeds:
             problems.append("scale.seeds must name at least one seed")
         if not problems:

@@ -19,9 +19,29 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping
 
+from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from .engines import ENGINES, ScenarioReport, _tag, engine_names
 from .model import Scenario
+
+#: Store-layer counters surfaced per run (deltas across the engine call).
+_STORE_COUNTERS = (
+    "store.blocks_loaded",
+    "store.bytes_read",
+    "store.cache_hits",
+    "store.blocks_written",
+    "store.bytes_written",
+)
+
+
+def _store_counter_values() -> dict[str, int]:
+    """Current process-wide store counters (absent metrics read as 0)."""
+    registry = get_metrics()
+    out = {}
+    for name in _STORE_COUNTERS:
+        metric = registry.get(name)
+        out[name] = int(metric.value) if metric is not None else 0
+    return out
 
 
 def coerce_scenario(source) -> Scenario:
@@ -107,6 +127,7 @@ class Session:
         if not run_seeds:
             raise ValueError("need at least one evaluation seed")
         tracer = get_tracer()
+        before = _store_counter_values()
         with tracer.span(
             "scenario.run",
             scenario=scenario.name,
@@ -115,12 +136,22 @@ class Session:
         ):
             out = ENGINES[self.engine](scenario, run_seeds, **self._options())
         runs, extra_meta = out if isinstance(out, tuple) else (out, {})
+        after = _store_counter_values()
+        store_delta = {
+            # meta keys drop the "store." prefix: blocks_loaded, ...
+            name.split(".", 1)[1]: after[name] - before[name]
+            for name in _STORE_COUNTERS
+            if after[name] != before[name]
+        }
+        meta = {"engine_options": self._options(), **extra_meta}
+        if store_delta:
+            meta["store"] = store_delta
         return ScenarioReport(
             scenario=scenario,
             engine=self.engine,
             seeds=run_seeds,
             runs=_tag(list(runs), scenario, self.engine),
-            meta={"engine_options": self._options(), **extra_meta},
+            meta=meta,
         )
 
 

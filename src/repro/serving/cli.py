@@ -363,6 +363,15 @@ def configure_loadgen_parser(parser: argparse.ArgumentParser) -> None:
         help="report only; do not write the BENCH_serving.json record",
     )
     parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append completed-request latencies (model ms) to this "
+        "repro.store trace file (created on first use); sort it with "
+        "'repro store sort' before fitting policies from it",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the record as JSON instead of the table",
@@ -504,6 +513,14 @@ def run_loadgen_command(args) -> int:
                 f"  chaos on shard 0     {wrapped.spiked:>10d} spiked "
                 f"attempt(s) of {wrapped.requests_seen}"
             )
+    if args.store is not None:
+        try:
+            args.store.parent.mkdir(parents=True, exist_ok=True)
+            appended = generator.append_store(args.store)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot append to {args.store}: {exc}", file=sys.stderr)
+            return 2
+        print(f"appended {appended} latencies to {args.store}")
     if not args.no_write:
         try:
             args.out.parent.mkdir(parents=True, exist_ok=True)

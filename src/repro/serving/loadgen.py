@@ -119,6 +119,9 @@ class LoadGenerator:
     def __init__(self, fleet: ServingFleet, *, rng: RngLike = None):
         self.fleet = fleet
         self._rng = as_rng(rng)
+        #: Completed-request latencies (model ms) of the latest run, in
+        #: completion order — the raw log behind ``append_store``.
+        self.latencies: list[float] = []
 
     # -- entry points --------------------------------------------------------
     def run(
@@ -149,6 +152,7 @@ class LoadGenerator:
             raise ValueError("target_rps must be >= 0")
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        self.latencies = []
         t0 = time.perf_counter()
         if mode == "open":
             asyncio.run(self._open_loop(n_requests, arrival, target_rps))
@@ -158,6 +162,19 @@ class LoadGenerator:
         return self._result(
             mode, arrival, target_rps, n_requests, wall_s
         )
+
+    def append_store(self, path) -> int:
+        """Append the latest run's completed-request latencies to a
+        ``repro.store`` file (created on first use), returning the count.
+
+        Append mode clears the file's sorted flag — run
+        ``repro store sort`` before fitting policies from it.
+        """
+        from ..store import TraceWriter
+
+        with TraceWriter(path, mode="a") as writer:
+            writer.append(np.asarray(self.latencies, dtype=np.float64))
+        return len(self.latencies)
 
     # -- arrival processes ---------------------------------------------------
     async def _open_loop(
@@ -193,7 +210,9 @@ class LoadGenerator:
                 # A burst still yields between arrivals so admission and
                 # cancellation interleave like a real (very fast) stream.
                 await asyncio.sleep(0)
-        await asyncio.gather(*tasks)
+        for outcome in await asyncio.gather(*tasks):
+            if outcome is not None:
+                self.latencies.append(float(outcome.latency_ms))
 
     async def _closed_loop(self, n_requests: int, concurrency: int) -> None:
         next_id = 0
@@ -203,7 +222,9 @@ class LoadGenerator:
             while next_id < n_requests:
                 query_id = next_id
                 next_id += 1
-                await self.fleet.request(query_id)
+                outcome = await self.fleet.request(query_id)
+                if outcome is not None:
+                    self.latencies.append(float(outcome.latency_ms))
 
         await asyncio.gather(*(user() for _ in range(concurrency)))
 

@@ -1,0 +1,47 @@
+"""repro.store — out-of-core packed-binary trace store.
+
+Million-query latency logs as block-split binary files: versioned
+fixed-width format with checksummed ~2 MB blocks and a JSON sidecar
+(:mod:`repro.store.format`), a memory-mapped sorted-trace empirical
+distribution plus external-merge sorting (:mod:`repro.store.mmapdist`),
+and the ``repro store`` CLI (:mod:`repro.store.cli`).
+
+Layering: ``store`` sits beside ``io``/``distributions`` at the bottom
+of the stack — it imports only ``obs`` and ``distributions.base``;
+``io``, ``optimize``, ``pipeline`` and ``serving`` import *it*.
+"""
+
+from .format import (
+    DEFAULT_BLOCK_RECORDS,
+    FORMAT_VERSION,
+    StoreChecksumError,
+    StoreEmptyError,
+    StoreEndiannessError,
+    StoreError,
+    StoreFormatError,
+    StoreNotSortedError,
+    StoreTruncatedError,
+    StoreVersionError,
+    TraceReader,
+    TraceWriter,
+    sidecar_path,
+)
+from .mmapdist import EmpiricalStore, sort_trace
+
+__all__ = [
+    "DEFAULT_BLOCK_RECORDS",
+    "FORMAT_VERSION",
+    "EmpiricalStore",
+    "StoreChecksumError",
+    "StoreEmptyError",
+    "StoreEndiannessError",
+    "StoreError",
+    "StoreFormatError",
+    "StoreNotSortedError",
+    "StoreTruncatedError",
+    "StoreVersionError",
+    "TraceReader",
+    "TraceWriter",
+    "sidecar_path",
+    "sort_trace",
+]

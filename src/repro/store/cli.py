@@ -1,0 +1,199 @@
+"""``repro store`` — pack, inspect, sort, and peek at trace stores.
+
+::
+
+    repro store pack trace.csv trace.store        # CSV -> packed binary
+    repro store pack trace.csv trace.store --sort # ... sorted, fit-ready
+    repro store info trace.store [--json] [--verify]
+    repro store sort trace.store sorted.store     # external merge sort
+    repro store head sorted.store -n 10
+
+``pack`` streams the CSV chunk at a time and ``sort`` is an external
+merge, so both run in bounded memory no matter how large the log is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+STORE_DESCRIPTION = (
+    "Out-of-core packed-binary trace store: convert CSV trace logs to "
+    "block-split .store files, inspect/checksum them, sort them for "
+    "out-of-core policy fits, and preview records."
+)
+
+
+def configure_store_parser(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="store_command", required=True)
+
+    pack = sub.add_parser(
+        "pack", help="convert a CSV trace log to a packed-binary store"
+    )
+    pack.add_argument("csv", type=Path, help="source CSV trace log")
+    pack.add_argument("store", type=Path, help="destination .store file")
+    pack.add_argument(
+        "--block-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="records per block (default: 262144, 2 MiB of float64)",
+    )
+    pack.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="CSV rows parsed per chunk (default: 65536)",
+    )
+    pack.add_argument(
+        "--sort",
+        action="store_true",
+        help="external-merge sort the primary segment after packing "
+        "(produces a fit-ready store)",
+    )
+
+    info = sub.add_parser(
+        "info", help="print a store's metadata (no data blocks read)"
+    )
+    info.add_argument("store", type=Path)
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally read and CRC-check every block",
+    )
+    info.add_argument("--json", action="store_true")
+
+    srt = sub.add_parser(
+        "sort",
+        help="external-merge sort a store's primary segment into a new "
+        "store (bounded memory)",
+    )
+    srt.add_argument("src", type=Path, help="source .store file")
+    srt.add_argument("dst", type=Path, help="destination sorted .store file")
+    srt.add_argument(
+        "--segment",
+        default="primary",
+        help="width-1 segment to sort (default: primary)",
+    )
+
+    head = sub.add_parser(
+        "head", help="print the first records of a segment"
+    )
+    head.add_argument("store", type=Path)
+    head.add_argument(
+        "-n", "--records", type=int, default=10, metavar="N",
+        help="records to print (default: 10)",
+    )
+    head.add_argument(
+        "--segment", default="primary", help="segment name (default: primary)"
+    )
+
+
+def _render_info(doc: dict) -> str:
+    lines = [
+        f"== repro store: {doc['path']} ==",
+        f"format      repro-store v{doc['version']} ({doc['dtype']}, "
+        f"little-endian)",
+        f"records     {doc['total_records']:,} "
+        f"({doc['file_bytes']:,} bytes on disk)",
+        f"block size  {doc['block_records']:,} records",
+        f"sorted      {'yes' if doc['sorted'] else 'no'}",
+        "segments:",
+    ]
+    for seg in doc["segments"]:
+        span = (
+            f"  [{seg['min']:g}, {seg['max']:g}]"
+            if seg["min"] is not None
+            else ""
+        )
+        lines.append(
+            f"  {seg['name']:<10} width {seg['width']}  "
+            f"{seg['records']:>12,} records in {seg['blocks']:>6,} "
+            f"blocks{span}"
+        )
+    if "blocks_verified" in doc:
+        lines.append(f"verified    {doc['blocks_verified']} block checksums ok")
+    return "\n".join(lines)
+
+
+def run_store_command(args) -> int:
+    from .format import TraceReader
+    from .mmapdist import sort_trace
+
+    try:
+        if args.store_command == "pack":
+            from ..io.tracelog import (
+                DEFAULT_CHUNK_ROWS,
+                trace_to_store,
+            )
+            from .format import DEFAULT_BLOCK_RECORDS, sidecar_path
+
+            t0 = time.perf_counter()
+            target = args.store
+            if args.sort:
+                target = args.store.with_suffix(
+                    args.store.suffix + ".unsorted"
+                )
+            reader = trace_to_store(
+                args.csv,
+                target,
+                chunk=args.chunk or DEFAULT_CHUNK_ROWS,
+                block_records=args.block_records or DEFAULT_BLOCK_RECORDS,
+            )
+            if args.sort:
+                sort_trace(target, args.store)
+                os.remove(target)
+                os.remove(sidecar_path(target))
+                reader = TraceReader(args.store)
+            elapsed = time.perf_counter() - t0
+            print(
+                f"packed {reader.total_records:,} records "
+                f"({reader._file_bytes:,} bytes"
+                + (", sorted" if args.sort else "")
+                + f") into {args.store} in {elapsed:.1f}s"
+            )
+            return 0
+
+        if args.store_command == "info":
+            reader = TraceReader(args.store)
+            doc = reader.info()
+            if args.verify:
+                doc["blocks_verified"] = reader.verify()
+            print(
+                json.dumps(doc, indent=2, default=float)
+                if args.json
+                else _render_info(doc)
+            )
+            return 0
+
+        if args.store_command == "sort":
+            t0 = time.perf_counter()
+            sort_trace(args.src, args.dst, segment=args.segment)
+            reader = TraceReader(args.dst)
+            elapsed = time.perf_counter() - t0
+            print(
+                f"sorted {reader.segment(args.segment).records:,} records "
+                f"of segment {args.segment!r} into {args.dst} "
+                f"in {elapsed:.1f}s"
+            )
+            return 0
+
+        if args.store_command == "head":
+            reader = TraceReader(args.store)
+            rows = reader.head(args.records, args.segment)
+            for row in rows:
+                if getattr(row, "ndim", 0):
+                    print(",".join(f"{float(v)!r}" for v in row))
+                else:
+                    print(f"{float(row)!r}")
+            return 0
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    raise AssertionError(args.store_command)  # pragma: no cover

@@ -1,0 +1,312 @@
+"""Memory-mapped empirical distribution + external-merge trace sorting.
+
+:class:`EmpiricalStore` is the out-of-core twin of
+:class:`repro.distributions.Empirical`: the same strictly-less-than CDF
+convention, the same "higher"-rule quantile, the same bootstrap
+resampling — but the sorted sample array is an ``np.memmap`` over a
+sorted store file, so a CDF query touches O(log n) pages instead of
+requiring the whole log in RAM.
+
+:func:`sort_trace` turns an arbitrarily large unsorted store into a
+sorted one with a classic external merge: sorted runs of a few blocks
+each, then a k-way merge that only ever holds one small buffer per run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import mmap as _mmap
+import os
+import tempfile
+
+import numpy as np
+
+from ..distributions.base import Distribution, RngLike, as_rng
+from .format import (
+    DEFAULT_BLOCK_RECORDS,
+    StoreEmptyError,
+    StoreNotSortedError,
+    TraceReader,
+    TraceWriter,
+)
+
+
+class EmpiricalStore(Distribution):
+    """Empirical distribution over a *sorted* store file, via ``np.memmap``.
+
+    Queries match :class:`repro.distributions.Empirical` bit for bit:
+    ``cdf(t) = |{x < t}| / n`` by ``np.searchsorted(..., side="left")``
+    and the "higher"-rule quantile ``x_(ceil(p*n))``. Only the pages a
+    query's binary search walks are faulted in.
+    """
+
+    def __init__(
+        self, source: TraceReader | str | os.PathLike, *, segment: str = "primary"
+    ):
+        if isinstance(source, TraceReader):
+            self._reader = source
+            self._owns_reader = False
+        else:
+            self._reader = TraceReader(source)
+            self._owns_reader = True
+        reader = self._reader
+        seg = reader.segment(segment)
+        if seg.width != 1:
+            raise StoreNotSortedError(
+                f"{reader.path}: segment {segment!r} has width {seg.width}; "
+                "EmpiricalStore needs a width-1 latency segment"
+            )
+        if seg.records == 0:
+            raise StoreEmptyError(
+                f"{reader.path}: segment {segment!r} has zero records — "
+                "an empirical distribution needs at least one sample"
+            )
+        if not reader.sorted:
+            raise StoreNotSortedError(
+                f"{reader.path}: store is not marked sorted; run "
+                f"`repro store sort {reader.path} <sorted.store>` first"
+            )
+        prev_max = None
+        for i, block in enumerate(seg.blocks):
+            if not (np.isfinite(block.min) and np.isfinite(block.max)):
+                raise StoreNotSortedError(
+                    f"{reader.path}: block {i} of segment {segment!r} "
+                    "contains non-finite samples"
+                )
+            if prev_max is not None and block.min < prev_max:
+                raise StoreNotSortedError(
+                    f"{reader.path}: marked sorted but block {i} starts at "
+                    f"{block.min} < previous block's max {prev_max}"
+                )
+            if block.records:
+                prev_max = block.max
+        self._segment_name = segment
+        self._mmap = reader.memmap(segment)
+        self._n = seg.records
+
+    # -- the Empirical query surface -----------------------------------------
+    @property
+    def sorted_samples(self) -> np.ndarray:
+        """The memory-mapped sorted sample array (read-only)."""
+        return self._mmap
+
+    @property
+    def reader(self) -> TraceReader:
+        return self._reader
+
+    @property
+    def path(self) -> str:
+        return self._reader.path
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Bootstrap resample by index: n draws with replacement."""
+        rng = as_rng(rng)
+        idx = rng.integers(0, self._n, size=n)
+        return np.asarray(self._mmap[idx])
+
+    def mean(self) -> float:
+        # Streams through the map once (pages are reclaimable afterwards).
+        return float(self._mmap.mean())
+
+    def variance(self) -> float:
+        return float(self._mmap.var())
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self._mmap, x, side="left") / self._n
+
+    def quantile(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        idx = np.clip(np.ceil(p * self._n).astype(np.int64) - 1, 0, self._n - 1)
+        return self._mmap[idx]
+
+    def min(self) -> float:
+        return float(self._mmap[0])
+
+    def max(self) -> float:
+        return float(self._mmap[-1])
+
+    def to_memory(self):
+        """Materialize as an in-RAM :class:`Empirical` (presorted path)."""
+        from ..distributions.empirical import Empirical
+
+        return Empirical(np.array(self._mmap), presorted=True)
+
+    def release(self) -> None:
+        """Drop this map's resident pages (``madvise(MADV_DONTNEED)``).
+
+        The chunked fitters call this between candidate chunks so that a
+        full sweep over a multi-GB log keeps peak RSS near one chunk
+        rather than the whole file. A no-op where madvise is missing.
+        """
+        mm = getattr(self._mmap, "_mmap", None)
+        advice = getattr(_mmap, "MADV_DONTNEED", None)
+        if mm is None or advice is None:
+            return
+        try:
+            mm.madvise(advice)
+        except (OSError, ValueError):  # pragma: no cover - platform quirks
+            pass
+
+    def close(self) -> None:
+        if self._owns_reader:
+            self._reader.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EmpiricalStore(path={self.path!r}, n={self._n}, "
+            f"segment={self._segment_name!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# External-merge sort
+
+
+def _emit_runs(
+    reader: TraceReader, segment: str, run_records: int, tmpdir: str
+) -> list[tuple[str, int]]:
+    """Pass 1: cut the segment into sorted runs on disk.
+
+    Each run holds at most ``run_records`` float64s, sorted in RAM and
+    written raw; returns ``(path, records)`` per run.
+    """
+    runs: list[tuple[str, int]] = []
+    buf: list[np.ndarray] = []
+    buffered = 0
+
+    def flush() -> None:
+        nonlocal buf, buffered
+        if not buffered:
+            return
+        chunk = np.concatenate(buf) if len(buf) > 1 else buf[0]
+        chunk = np.sort(chunk)
+        path = os.path.join(tmpdir, f"run{len(runs):05d}.f64")
+        chunk.tofile(path)
+        runs.append((path, chunk.size))
+        buf, buffered = [], 0
+
+    for block in reader.iter_blocks(segment):
+        buf.append(np.asarray(block, dtype=np.float64))
+        buffered += block.size
+        if buffered >= run_records:
+            flush()
+    flush()
+    return runs
+
+
+class _RunCursor:
+    """A buffered reader over one sorted run file."""
+
+    def __init__(self, path: str, records: int, chunk: int):
+        self.fh = open(path, "rb")
+        self.remaining = records
+        self.chunk = chunk
+        self.buf = np.empty(0, dtype=np.float64)
+        self.refill()
+
+    def refill(self) -> None:
+        if self.buf.size or not self.remaining:
+            return
+        take = min(self.chunk, self.remaining)
+        self.buf = np.fromfile(self.fh, dtype=np.float64, count=take)
+        self.remaining -= self.buf.size
+
+    @property
+    def active(self) -> bool:
+        return bool(self.buf.size)
+
+    def close(self) -> None:
+        self.fh.close()
+
+
+def _merge_runs(
+    runs: list[tuple[str, int]], writer: TraceWriter, chunk: int
+) -> None:
+    """Pass 2: k-way merge of sorted runs with one small buffer each.
+
+    Everything ≤ the smallest buffer-tail across active runs is complete
+    (unread values in a run are ≥ that run's last buffered value), so it
+    can be emitted in one vectorized sort per round.
+    """
+    cursors = [_RunCursor(path, n, chunk) for path, n in runs]
+    try:
+        while True:
+            active = [c for c in cursors if c.active]
+            if not active:
+                break
+            cutoff = min(float(c.buf[-1]) for c in active)
+            parts = []
+            for c in active:
+                take = int(np.searchsorted(c.buf, cutoff, side="right"))
+                if take:
+                    parts.append(c.buf[:take])
+                    c.buf = c.buf[take:]
+                c.refill()
+            merged = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            merged = np.sort(merged)
+            writer.append(merged)
+    finally:
+        for c in cursors:
+            c.close()
+
+
+def sort_trace(
+    src: str | os.PathLike,
+    dst: str | os.PathLike,
+    *,
+    segment: str = "primary",
+    run_records: int | None = None,
+    merge_chunk: int = 65_536,
+) -> TraceReader:
+    """Externally sort ``segment`` of store ``src`` into store ``dst``.
+
+    Memory stays bounded by one run (``run_records`` float64s, default
+    8 blocks ≈ 16 MiB) regardless of the log's size. Other segments
+    (e.g. ``pairs``) are copied through unchanged — only the width-1
+    latency segment needs ordering for CDF queries. Returns a reader on
+    the sorted output, whose header carries the sorted flag.
+    """
+    src, dst = os.fspath(src), os.fspath(dst)
+    if os.path.abspath(src) == os.path.abspath(dst):
+        raise ValueError("sort_trace needs distinct src and dst paths")
+    reader = TraceReader(src)
+    seg = reader.segment(segment)
+    if seg.width != 1:
+        raise ValueError(
+            f"can only sort width-1 segments, {segment!r} has width {seg.width}"
+        )
+    if run_records is None:
+        run_records = 8 * reader.block_records
+    run_records = max(int(run_records), 1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-sort-") as tmpdir:
+        runs = _emit_runs(reader, segment, run_records, tmpdir)
+        with TraceWriter(dst, block_records=reader.block_records) as writer:
+            # Preserve the source's segment order; sort the target
+            # segment, copy every other one through block by block.
+            for other in reader.segments.values():
+                writer.begin_segment(other.name, other.width)
+                if other.name == segment:
+                    _merge_runs(runs, writer, merge_chunk)
+                else:
+                    for block in reader.iter_blocks(other.name):
+                        writer.append(block)
+            writer.mark_sorted(True)
+    reader.close()
+    return TraceReader(dst)
+
+
+# heapq is the reference algorithm for the merge; keep it importable for
+# the property test that cross-checks the vectorized merge against it.
+def _merge_reference(arrays: list[np.ndarray]) -> np.ndarray:
+    return np.fromiter(
+        heapq.merge(*[a.tolist() for a in arrays]),
+        dtype=np.float64,
+        count=sum(a.size for a in arrays),
+    )

@@ -64,3 +64,24 @@ class TestTailPercentile:
     def test_bad_k_raises(self):
         with pytest.raises(ValueError):
             tail_percentile([1.0], 150.0)
+
+
+class TestPresorted:
+    def test_presorted_identical_results(self, rng):
+        s = rng.lognormal(2.0, 0.6, 5000)
+        fast = Empirical(np.sort(s), presorted=True)
+        slow = Empirical(s)
+        xs = rng.uniform(0.0, 60.0, 200)
+        np.testing.assert_array_equal(fast.cdf(xs), slow.cdf(xs))
+        ps = np.linspace(0.0, 1.0, 101)
+        np.testing.assert_array_equal(fast.quantile(ps), slow.quantile(ps))
+        np.testing.assert_array_equal(fast.sorted_samples, slow.sorted_samples)
+
+    def test_presorted_skips_the_sort_copy(self):
+        s = np.array([1.0, 2.0, 3.0])
+        e = Empirical(s, presorted=True)
+        assert np.array_equal(e.sorted_samples, s)
+
+    def test_presorted_lie_rejected(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            Empirical([3.0, 1.0, 2.0], presorted=True)

@@ -119,3 +119,110 @@ def test_property_roundtrip(tmp_path_factory, primary, pairs):
     back = read_trace(p)
     assert np.array_equal(back.primary, t.primary)
     assert np.array_equal(back.pair_y, t.pair_y)
+
+
+class TestIterTrace:
+    """Chunked streaming reads: same rows, bounded memory, same errors."""
+
+    def test_chunks_concatenate_to_read_trace(self, tmp_path):
+        from repro.io.tracelog import iter_trace, write_trace
+
+        t = make_trace(n=100, m=30)
+        p = tmp_path / "t.csv"
+        write_trace(p, t)
+        chunks = list(iter_trace(p, chunk=7))
+        assert len(chunks) > 1
+        assert all(c.n_primary + c.n_pairs <= 7 for c in chunks)
+        np.testing.assert_array_equal(
+            np.concatenate([c.primary for c in chunks]), t.primary
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.pair_x for c in chunks]), t.pair_x
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.pair_y for c in chunks]), t.pair_y
+        )
+
+    def test_malformed_row_error_carries_line_number(self, tmp_path):
+        from repro.io.tracelog import iter_trace
+
+        p = tmp_path / "bad.csv"
+        p.write_text(
+            "# repro-trace v1\nkind,x,y\nprimary,1.0,\nprimary,1.0,2.0\n"
+        )
+        with pytest.raises(ValueError, match=rf"{p}:4: .*y empty"):
+            list(iter_trace(p, chunk=2))
+        with pytest.raises(ValueError, match=rf"{p}:4: .*y empty"):
+            read_trace(p)
+
+    def test_field_count_error_names_the_line(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("# repro-trace v1\nkind,x,y\npair,1.0\n")
+        with pytest.raises(ValueError, match=rf"{p}:3: expected 3 fields"):
+            read_trace(p)
+
+    def test_unknown_kind_names_the_line(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("# repro-trace v1\nkind,x,y\nbogus,1.0,\n")
+        with pytest.raises(ValueError, match=rf"{p}:3: unknown row kind"):
+            read_trace(p)
+
+    def test_header_errors_name_lines_1_and_2(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("not a header\n")
+        with pytest.raises(ValueError, match=rf"{p}:1: "):
+            read_trace(p)
+        p.write_text("# repro-trace v1\nwrong,columns\n")
+        with pytest.raises(ValueError, match=rf"{p}:2: "):
+            read_trace(p)
+
+
+class TestStoreBridge:
+    """CSV <-> packed-binary store conversion is lossless."""
+
+    def test_csv_store_csv_byte_identical(self, tmp_path):
+        from repro.io.tracelog import store_to_trace, trace_to_store
+
+        t = make_trace(n=200, m=60, seed=3)
+        src = tmp_path / "t.csv"
+        write_trace(src, t)
+        store = tmp_path / "t.store"
+        trace_to_store(src, store, block_records=32)
+        back = tmp_path / "back.csv"
+        store_to_trace(store, back)
+        assert back.read_bytes() == src.read_bytes()
+
+    def test_read_trace_transparently_opens_stores(self, tmp_path):
+        from repro.io.tracelog import trace_to_store
+
+        t = make_trace(n=50, m=10, seed=5)
+        src = tmp_path / "t.csv"
+        write_trace(src, t)
+        store = tmp_path / "t.store"
+        trace_to_store(src, store)
+        back = read_trace(store)
+        np.testing.assert_array_equal(back.primary, t.primary)
+        np.testing.assert_array_equal(back.pair_x, t.pair_x)
+        np.testing.assert_array_equal(back.pair_y, t.pair_y)
+
+    def test_log_store_round_trip_bit_exact(self, tmp_path):
+        from repro.io.tracelog import log_to_store, store_to_log
+
+        t = make_trace(n=500, m=80, seed=9)
+        store = tmp_path / "t.store"
+        log_to_store(t, store, block_records=64)
+        back = store_to_log(store)
+        np.testing.assert_array_equal(back.primary, t.primary)
+        np.testing.assert_array_equal(back.pair_x, t.pair_x)
+        np.testing.assert_array_equal(back.pair_y, t.pair_y)
+
+    def test_is_store_path_sniffs_magic(self, tmp_path):
+        from repro.io.tracelog import is_store_path, log_to_store
+
+        store = tmp_path / "t.store"
+        log_to_store(make_trace(), store)
+        assert is_store_path(store)
+        csv = tmp_path / "t.csv"
+        write_trace(csv, make_trace())
+        assert not is_store_path(csv)
+        assert not is_store_path(tmp_path / "missing.csv")

@@ -148,3 +148,29 @@ class TestValidateRecord:
 
     def test_non_dict_rejected(self):
         assert validate_record([]) != []
+
+
+class TestLoadgenStore:
+    def test_store_flag_appends_latencies(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.store import TraceReader, sort_trace, EmpiricalStore
+
+        store = tmp_path / "lat.store"
+        rc, _ = run_quick(tmp_path, "--no-write", "--store", str(store))
+        assert rc == 0
+        assert f"to {store}" in capsys.readouterr().out
+        reader = TraceReader(store)
+        n_first = reader.total_records
+        assert 0 < n_first <= 80
+        assert np.all(reader.read_segment("primary") >= 0.0)
+
+        # A second run appends to the same store.
+        rc, _ = run_quick(tmp_path, "--no-write", "--store", str(store))
+        assert rc == 0
+        assert TraceReader(store).total_records == 2 * n_first
+
+        # The collected log is fit-ready once sorted.
+        sort_trace(store, tmp_path / "lat.sorted.store")
+        dist = EmpiricalStore(tmp_path / "lat.sorted.store")
+        assert len(dist) == 2 * n_first

@@ -343,3 +343,76 @@ class TestCliFlags:
         assert "scales:" in out
         for name in ("quick", "standard", "full"):
             assert name in out
+
+
+class TestCacheStoreSpill:
+    """Large-array cache entries spill into a per-entry .store sidecar."""
+
+    def put_get(self, tmp_path, value, threshold="8"):
+        import os
+
+        os.environ["REPRO_STORE_CACHE_THRESHOLD"] = threshold
+        try:
+            cache = ResultCache(tmp_path)
+            cache.put("ab" + "0" * 38, value)
+            return cache, cache.get("ab" + "0" * 38)
+        finally:
+            del os.environ["REPRO_STORE_CACHE_THRESHOLD"]
+
+    def test_spilled_arrays_round_trip_bit_exact(self, tmp_path):
+        rng = np.random.default_rng(0)
+        value = {
+            "latencies": rng.exponential(5.0, 100),
+            "small": rng.exponential(5.0, 3),
+            "scalar": 1.5,
+        }
+        cache, back = self.put_get(tmp_path, value)
+        np.testing.assert_array_equal(back["latencies"], value["latencies"])
+        np.testing.assert_array_equal(back["small"], value["small"])
+        assert back["scalar"] == 1.5
+        # The big array lives in the sidecar, not the pickle.
+        store = cache._store_path("ab" + "0" * 38)
+        assert store.exists()
+        assert value["latencies"].nbytes > cache._path(
+            "ab" + "0" * 38
+        ).stat().st_size
+
+    def test_below_threshold_stays_pure_pickle(self, tmp_path):
+        value = np.arange(100, dtype=np.float64)
+        cache, back = self.put_get(tmp_path, value, threshold="1000000")
+        np.testing.assert_array_equal(back, value)
+        assert not cache._store_path("ab" + "0" * 38).exists()
+
+    def test_corrupt_sidecar_reads_as_miss(self, tmp_path):
+        value = np.arange(64, dtype=np.float64)
+        cache, back = self.put_get(tmp_path, value)
+        np.testing.assert_array_equal(back, value)
+        store = cache._store_path("ab" + "0" * 38)
+        store.write_bytes(store.read_bytes()[:100])
+        assert cache.get("ab" + "0" * 38, "MISS") == "MISS"
+
+    def test_runresult_payload_spills_and_replays(self, tmp_path):
+        import os
+
+        from repro.core.interfaces import RunResult
+
+        rng = np.random.default_rng(1)
+        run = RunResult(
+            latencies=rng.exponential(5.0, 50),
+            primary_response_times=rng.exponential(5.0, 50),
+            reissue_pair_x=rng.exponential(5.0, 5),
+            reissue_pair_y=rng.exponential(5.0, 5),
+            reissue_rate=0.1,
+            utilization=0.3,
+        )
+        os.environ["REPRO_STORE_CACHE_THRESHOLD"] = "8"
+        try:
+            cache = ResultCache(tmp_path)
+            cache.put("cd" + "0" * 38, [run])
+            (back,) = cache.get("cd" + "0" * 38)
+        finally:
+            del os.environ["REPRO_STORE_CACHE_THRESHOLD"]
+        np.testing.assert_array_equal(back.latencies, run.latencies)
+        np.testing.assert_array_equal(
+            back.primary_response_times, run.primary_response_times
+        )

@@ -301,3 +301,50 @@ class TestEmptyTailError:
         run = self.make_empty({})
         run.latencies = np.array([1.0, 2.0, 3.0])
         assert run.tail(0.5) == 2.0
+
+
+class TestStoreCounterSurfacing:
+    """Per-run trace-store activity lands in meta, summary(), render()."""
+
+    SC = scenario(
+        "eq-store-counters",
+        system="independent",
+        policy=SingleR(4.0, 0.5),
+        percentile=0.99,
+        n_queries=200,
+        seeds=(101,),
+    )
+
+    def test_no_store_activity_no_meta(self):
+        report = Session("reference").run(self.SC)
+        assert "store" not in report.meta
+        assert "store" not in report.summary()
+
+    def test_store_deltas_attached_and_rendered(self, tmp_path, monkeypatch):
+        # Wrap the reference engine so the run itself touches a store;
+        # Session counts the counter deltas across the engine call.
+        import numpy as np
+
+        from repro.scenarios import engines
+        from repro.store import TraceReader, TraceWriter
+
+        path = tmp_path / "t.store"
+        with TraceWriter(path, block_records=64) as w:
+            w.append(np.arange(256, dtype=np.float64))
+
+        inner = engines.ENGINES["reference"]
+
+        def touching_engine(sc, seeds, **kw):
+            reader = TraceReader(path)
+            reader.read_segment("primary")
+            reader.read_block(0)  # a cache hit
+            return inner(sc, seeds, **kw)
+
+        monkeypatch.setitem(engines.ENGINES, "reference", touching_engine)
+        report = Session("reference").run(self.SC)
+        store = report.meta["store"]
+        assert store["blocks_loaded"] == 4
+        assert store["cache_hits"] == 1
+        assert store["bytes_read"] == 256 * 8
+        assert report.summary()["store"] == store
+        assert "trace store" in report.render()

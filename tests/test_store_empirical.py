@@ -1,0 +1,182 @@
+"""EmpiricalStore: the out-of-core twin of Empirical, plus external sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Empirical
+from repro.store import (
+    EmpiricalStore,
+    StoreEmptyError,
+    StoreNotSortedError,
+    TraceWriter,
+    sort_trace,
+)
+from repro.store.mmapdist import _merge_reference
+
+
+def write_sorted_store(path, samples, *, block_records=64):
+    with TraceWriter(path, block_records=block_records, sorted=True) as w:
+        w.append(np.sort(np.asarray(samples, dtype=np.float64)))
+    return path
+
+
+@pytest.fixture
+def store_pair(tmp_path, rng):
+    """(EmpiricalStore, Empirical) over the same 2000-sample log."""
+    samples = rng.lognormal(2.0, 0.6, 2000)
+    path = write_sorted_store(tmp_path / "t.store", samples)
+    return EmpiricalStore(path), Empirical(samples)
+
+
+class TestQuerySurface:
+    def test_cdf_matches_in_memory(self, store_pair, rng):
+        store, mem = store_pair
+        xs = rng.uniform(0.0, 60.0, 200)
+        np.testing.assert_array_equal(store.cdf(xs), mem.cdf(xs))
+
+    def test_quantile_matches_in_memory(self, store_pair):
+        store, mem = store_pair
+        ps = np.linspace(0.0, 1.0, 101)
+        np.testing.assert_array_equal(store.quantile(ps), mem.quantile(ps))
+
+    def test_moments_and_extremes(self, store_pair):
+        store, mem = store_pair
+        assert store.mean() == pytest.approx(mem.mean())
+        assert store.variance() == pytest.approx(mem.variance())
+        assert store.min() == mem.sorted_samples[0]
+        assert store.max() == mem.sorted_samples[-1]
+        assert len(store) == len(mem.sorted_samples)
+
+    def test_bootstrap_sample_matches_seeded(self, store_pair):
+        store, mem = store_pair
+        a = store.sample(100, np.random.default_rng(7))
+        b = mem.sample(100, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_quantile_rejects_out_of_range(self, store_pair):
+        store, _ = store_pair
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            store.quantile(1.5)
+
+    def test_to_memory_round_trip(self, store_pair):
+        store, mem = store_pair
+        np.testing.assert_array_equal(
+            store.to_memory().sorted_samples, mem.sorted_samples
+        )
+
+    def test_release_is_safe_and_map_still_valid(self, store_pair):
+        store, mem = store_pair
+        store.release()
+        np.testing.assert_array_equal(
+            np.asarray(store.sorted_samples), mem.sorted_samples
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200
+        ),
+        p=st.floats(0.0, 1.0),
+    )
+    def test_cdf_quantile_agree_with_empirical(self, tmp_path_factory, samples, p):
+        tmp = tmp_path_factory.mktemp("hyp")
+        path = write_sorted_store(tmp / "h.store", samples, block_records=16)
+        store = EmpiricalStore(path)
+        mem = Empirical(samples)
+        assert float(store.quantile(p)) == float(mem.quantile(p))
+        for x in samples[:20]:
+            assert float(store.cdf(x)) == float(mem.cdf(x))
+        store.close()
+
+
+class TestGuards:
+    def test_unsorted_store_is_named_error(self, tmp_path, rng):
+        path = tmp_path / "u.store"
+        with TraceWriter(path, block_records=16) as w:
+            w.append(rng.exponential(5.0, 100))
+        with pytest.raises(StoreNotSortedError, match="repro store sort"):
+            EmpiricalStore(path)
+
+    def test_lying_sorted_flag_is_caught(self, tmp_path, rng):
+        # Mark sorted but write descending blocks: the per-block min/max
+        # monotonicity check in the sidecar exposes the lie at open.
+        path = tmp_path / "lie.store"
+        with TraceWriter(path, block_records=16, sorted=True) as w:
+            w.append(np.sort(rng.exponential(5.0, 64))[::-1].copy())
+        with pytest.raises(StoreNotSortedError, match="marked sorted"):
+            EmpiricalStore(path)
+
+    def test_empty_store_is_named_error(self, tmp_path):
+        path = tmp_path / "e.store"
+        with TraceWriter(path, sorted=True):
+            pass
+        with pytest.raises(StoreEmptyError, match="at least one sample"):
+            EmpiricalStore(path)
+
+    def test_wide_segment_rejected(self, tmp_path, rng):
+        path = tmp_path / "w.store"
+        with TraceWriter(path, block_records=16, sorted=True) as w:
+            w.append(np.sort(rng.exponential(5.0, 32)))
+            w.begin_segment("pairs", 2)
+            w.append(rng.exponential(5.0, (8, 2)))
+        with pytest.raises(StoreNotSortedError, match="width"):
+            EmpiricalStore(path, segment="pairs")
+
+
+class TestExternalSort:
+    def test_sort_trace_matches_np_sort(self, tmp_path, rng):
+        samples = rng.lognormal(2.0, 0.6, 5000)
+        src = tmp_path / "u.store"
+        with TraceWriter(src, block_records=64) as w:
+            w.append(samples)
+        dst = tmp_path / "s.store"
+        reader = sort_trace(src, dst, run_records=256, merge_chunk=128)
+        assert reader.sorted
+        np.testing.assert_array_equal(
+            reader.read_segment("primary"), np.sort(samples)
+        )
+
+    def test_sorted_store_feeds_empirical(self, tmp_path, rng):
+        samples = rng.exponential(5.0, 3000)
+        src = tmp_path / "u.store"
+        with TraceWriter(src, block_records=64) as w:
+            w.append(samples)
+        sort_trace(src, tmp_path / "s.store", run_records=512)
+        store = EmpiricalStore(tmp_path / "s.store")
+        mem = Empirical(samples)
+        ps = np.linspace(0.01, 0.99, 50)
+        np.testing.assert_array_equal(store.quantile(ps), mem.quantile(ps))
+
+    def test_sort_copies_other_segments_through(self, tmp_path, rng):
+        src = tmp_path / "u.store"
+        pairs = rng.exponential(5.0, (30, 2))
+        with TraceWriter(src, block_records=16) as w:
+            w.append(rng.exponential(5.0, 200))
+            w.begin_segment("pairs", 2)
+            w.append(pairs)
+        reader = sort_trace(src, tmp_path / "s.store", run_records=64)
+        np.testing.assert_array_equal(reader.read_segment("pairs"), pairs)
+
+    def test_merge_reference_agrees(self, rng):
+        arrays = [np.sort(rng.exponential(5.0, n)) for n in (17, 3, 40)]
+        merged = _merge_reference(arrays)
+        np.testing.assert_array_equal(merged, np.sort(np.concatenate(arrays)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(0.0, 1e9, allow_nan=False), min_size=1, max_size=300
+        )
+    )
+    def test_sort_trace_hypothesis(self, tmp_path_factory, samples):
+        tmp = tmp_path_factory.mktemp("sort")
+        src = tmp / "u.store"
+        with TraceWriter(src, block_records=16) as w:
+            w.append(np.asarray(samples, dtype=np.float64))
+        reader = sort_trace(src, tmp / "s.store", run_records=32, merge_chunk=8)
+        np.testing.assert_array_equal(
+            reader.read_segment("primary"), np.sort(samples)
+        )
+        reader.close()
