@@ -37,6 +37,7 @@ inject a synthetic regression.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -276,6 +277,77 @@ def bench_serving(
     }
 
 
+def bench_serving_procs(
+    n_requests: int = 600, n_workers: int = 2, repeats: int = 2
+) -> dict | None:
+    """Multi-process fleet vs the single-loop fleet, same open burst.
+
+    The :class:`~repro.serving.procfleet.ProcessFleet` pays a real
+    socket round trip per request but owns one event loop *per core*;
+    the single-loop :class:`ServingFleet` serializes every shard's
+    Python work on one core. The ratio is what that trade buys on this
+    machine.
+
+    Returns ``None`` (bench skipped, metric absent from the record) on
+    single-CPU boxes — with one core the process fleet can only add
+    transport overhead, so there is no parallelism win to measure; the
+    gate skips metrics the newest record does not carry, mirroring the
+    fastsim-compiled/no-numba pattern.
+    """
+    import numpy as np
+
+    if (os.cpu_count() or 1) < 2:
+        return None
+
+    from .scenarios import coerce_scenario
+    from .scenarios.engines import serving_backend
+    from .serving.fleet import ServingFleet
+    from .serving.loadgen import LoadGenerator
+    from .serving.procfleet import ProcessFleet
+
+    scenario = coerce_scenario("fleet-tail-quick").check()
+    time_scale = 2e-5
+    policy = scenario.build_policy()
+
+    def single_loop():
+        fleet = ServingFleet.build(
+            n_workers,
+            lambda i, rng: serving_backend(scenario, time_scale, rng),
+            policy=policy,
+            seed=7,
+        )
+        LoadGenerator(fleet, rng=np.random.default_rng(11)).run(
+            n_requests, mode="open", target_rps=0
+        )
+
+    # The worker processes are spawned once, outside the timed region —
+    # the bench measures steady-state serving, not process start-up.
+    fleet = ProcessFleet(
+        n_workers, scenario, policy=policy, time_scale=time_scale, seed=7
+    )
+    try:
+        generator = LoadGenerator(fleet, rng=np.random.default_rng(11))
+        generator.run(32, mode="open", target_rps=0)  # warm connections
+        single_loop()  # warm the single-loop side (imports, event loop)
+        baseline_s = _best_of(single_loop, repeats)
+        optimized_s = _best_of(
+            lambda: generator.run(n_requests, mode="open", target_rps=0),
+            repeats,
+        )
+    finally:
+        fleet.close()
+    return {
+        "metric": "serving.speedup_procs_vs_single",
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "detail": (
+            f"{n_requests} requests x {n_workers} worker processes "
+            f"(unix transport) vs {n_workers} in-loop shards"
+        ),
+    }
+
+
 def bench_store(n_samples: int = 1_000_000, repeats: int = 2) -> dict:
     """Out-of-core store-backed SingleR fit vs the in-memory sweep.
 
@@ -338,6 +410,7 @@ SUITE: dict[str, Callable[..., dict | None]] = {
     "optimize": bench_optimize,
     "pipeline": bench_pipeline,
     "serving": bench_serving,
+    "serving-procs": bench_serving_procs,
     "store": bench_store,
 }
 
@@ -552,6 +625,7 @@ __all__ = [
     "bench_optimize",
     "bench_pipeline",
     "bench_serving",
+    "bench_serving_procs",
     "check_regressions",
     "load_history",
     "render_record",

@@ -23,6 +23,7 @@ runtime — driven by the declarative Scenario API:
     repro figure run fig3 --scale quick
     repro serve --backend drifting --policy auto   (was repro-serve)
     repro loadgen --shards 2 --rps 20000  # sharded fleet under open-loop load
+    repro loadgen --procs 2 --rps 20000   # worker processes over sockets
 
 ``repro-experiment`` and ``repro-serve`` remain as deprecated aliases of
 ``repro figure`` and ``repro serve``.

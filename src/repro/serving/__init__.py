@@ -23,6 +23,11 @@ pluggable asynchronous backends:
   pluggable shard selection, per-shard admission control (load
   shedding), and a shared :class:`PolicyStore` that propagates
   :class:`AutoTuner` refits fleet-wide.
+* :mod:`~repro.serving.procfleet` — :class:`ProcessFleet`: the same
+  front-door contract over real worker *processes* (one event loop per
+  core, length-prefixed frames on Unix/TCP sockets) with the
+  :class:`PolicyStore` served cross-process by
+  :class:`PolicyStoreServer` / :class:`RemotePolicyStore`.
 * :mod:`~repro.serving.loadgen` — closed- vs open-loop
   :class:`LoadGenerator` driving a fleet at a target RPS, plus the
   committed ``BENCH_serving.json`` record schema.
@@ -54,6 +59,13 @@ from .fleet import (
 from .hedge import HedgedClient, RequestOutcome
 from .loadgen import LoadGenerator, LoadgenResult, as_record, validate_record
 from .metrics import MetricsSnapshot, ServingMetrics
+from .procfleet import (
+    TRANSPORTS,
+    PolicyStoreServer,
+    ProcessFleet,
+    RemotePolicyStore,
+    WorkerHandle,
+)
 
 __all__ = [
     "AsyncBackend",
@@ -67,7 +79,10 @@ __all__ = [
     "LoadgenResult",
     "MetricsSnapshot",
     "PolicyStore",
+    "PolicyStoreServer",
+    "ProcessFleet",
     "RedisBackend",
+    "RemotePolicyStore",
     "RequestOutcome",
     "SHARD_SELECTORS",
     "SearchBackend",
@@ -76,7 +91,8 @@ __all__ = [
     "ShardWorker",
     "SimulatedBackend",
     "SyntheticBackend",
-    "WorkloadBackend",
+    "TRANSPORTS",
+    "WorkerHandle",
     "as_record",
     "make_selector",
     "validate_record",

@@ -230,9 +230,11 @@ def run_serve_command(args) -> int:
 # ---------------------------------------------------------------------------
 
 LOADGEN_DESCRIPTION = (
-    "Drive a sharded hedging fleet (ServingFleet) with a closed- or "
-    "open-loop load generator and report merged p50/p99/p99.9, achieved "
-    "throughput, shed load, and the fleet's policy version."
+    "Drive a sharded hedging fleet with a closed- or open-loop load "
+    "generator and report merged p50/p99/p99.9, achieved throughput, "
+    "shed load, and the fleet's policy version. Default: the in-loop "
+    "ServingFleet; --procs N serves through N worker processes (one "
+    "event loop per core) over Unix-domain or TCP sockets instead."
 )
 
 
@@ -249,6 +251,23 @@ def configure_loadgen_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--shards", type=int, default=2, help="fleet width (default: 2)"
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drive a multi-process ProcessFleet of N worker processes "
+        "(one event loop per core) over a real socket transport instead "
+        "of the in-loop sharded fleet; replaces --shards as the fleet "
+        "width",
+    )
+    parser.add_argument(
+        "--transport",
+        default=None,
+        metavar="TRANSPORT",
+        help="ProcessFleet socket transport: unix or tcp "
+        "(default: unix; requires --procs)",
     )
     parser.add_argument(
         "--select",
@@ -381,6 +400,7 @@ def configure_loadgen_parser(parser: argparse.ArgumentParser) -> None:
 def _validate_loadgen_args(args) -> str | None:
     """Flag cross-checks; returns an error message naming the flag."""
     from .fleet import SHARD_SELECTORS
+    from .procfleet import TRANSPORTS
 
     if args.select not in SHARD_SELECTORS:
         return (
@@ -404,6 +424,24 @@ def _validate_loadgen_args(args) -> str | None:
         return f"--chaos-spike must be >= 1, got {args.chaos_spike:g}"
     if not 0.0 <= args.chaos_prob <= 1.0:
         return f"--chaos-prob must be in [0, 1], got {args.chaos_prob:g}"
+    if args.procs is not None and args.procs < 1:
+        return f"--procs must be >= 1, got {args.procs}"
+    if args.transport is not None:
+        if args.procs is None:
+            return (
+                "--transport applies only with --procs (the in-loop "
+                "fleet has no socket transport)"
+            )
+        if args.transport not in TRANSPORTS:
+            return (
+                f"--transport: unknown transport {args.transport!r} "
+                f"(valid: {', '.join(TRANSPORTS)})"
+            )
+    if args.procs is not None and args.chaos_spike is not None:
+        return (
+            "--chaos-spike applies only to the in-loop fleet "
+            "(omit --procs)"
+        )
     return None
 
 
@@ -416,6 +454,7 @@ def run_loadgen_command(args) -> int:
     from .chaos import ChaosBackend
     from .fleet import ServingFleet
     from .loadgen import LoadGenerator, as_record
+    from .procfleet import ProcessFleet
 
     problem = _validate_loadgen_args(args)
     if problem is not None:
@@ -428,14 +467,15 @@ def run_loadgen_command(args) -> int:
         return 2
 
     objective = scenario.objective
+    autotune_kwargs = {
+        "percentile": objective.percentile,
+        "budget": objective.budget if objective.budget is not None else 0.05,
+        "batch_size": args.batch_size,
+        "refit_interval": args.refit_interval,
+    }
     tuner = None
-    if args.autotune:
-        tuner = AutoTuner(
-            percentile=objective.percentile,
-            budget=objective.budget if objective.budget is not None else 0.05,
-            batch_size=args.batch_size,
-            refit_interval=args.refit_interval,
-        )
+    if args.autotune and args.procs is None:
+        tuner = AutoTuner(**autotune_kwargs)
     chaos_seq, gen_seq = np.random.SeedSequence(
         (args.seed, 0xC4A05)
     ).spawn(2)
@@ -452,19 +492,41 @@ def run_loadgen_command(args) -> int:
             return wrapped
         return backend
 
+    transport = args.transport or "unix"
+    n_workers = args.procs if args.procs is not None else args.shards
+    fleet = None
     try:
-        fleet = ServingFleet.build(
-            args.shards,
-            backend_factory,
-            policy=scenario.build_policy(),
-            selector=args.select,
-            admission_limit=args.admission_limit,
-            concurrency=args.concurrency,
-            deadline_ms=args.deadline_ms,
-            probe_fraction=args.probe_fraction,
-            tuner=tuner,
-            seed=args.seed,
-        )
+        if args.procs is not None:
+            # Worker processes rebuild their backends from the shipped
+            # scenario dict — the tuner (if any) is likewise built
+            # inside the tuned worker, never pickled across.
+            fleet = ProcessFleet(
+                args.procs,
+                scenario,
+                policy=scenario.build_policy(),
+                selector=args.select,
+                admission_limit=args.admission_limit,
+                concurrency=args.concurrency,
+                deadline_ms=args.deadline_ms,
+                probe_fraction=args.probe_fraction,
+                autotune=autotune_kwargs if args.autotune else None,
+                time_scale=args.time_scale,
+                transport=transport,
+                seed=args.seed,
+            )
+        else:
+            fleet = ServingFleet.build(
+                args.shards,
+                backend_factory,
+                policy=scenario.build_policy(),
+                selector=args.select,
+                admission_limit=args.admission_limit,
+                concurrency=args.concurrency,
+                deadline_ms=args.deadline_ms,
+                probe_fraction=args.probe_fraction,
+                tuner=tuner,
+                seed=args.seed,
+            )
         generator = LoadGenerator(fleet, rng=np.random.default_rng(gen_seq))
         n_requests = args.requests or scenario.scale.n_queries or 2_000
         target_rps = None
@@ -477,12 +539,17 @@ def run_loadgen_command(args) -> int:
             target_rps=target_rps,
             concurrency=args.users if args.users is not None else 8,
         )
-    except (TypeError, ValueError) as exc:
+    except (TypeError, ValueError, RuntimeError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if args.procs is not None and fleet is not None:
+            fleet.close()
 
     config = {
-        "shards": args.shards,
+        "shards": n_workers,
+        "procs": args.procs,
+        "transport": result.transport,
         "select": args.select,
         "mode": args.mode,
         "arrival": args.arrival,
@@ -507,6 +574,14 @@ def run_loadgen_command(args) -> int:
             print(
                 f"  policy refits        {tuner.n_refits:>10d}"
                 f"  (store v{fleet.store.version})"
+            )
+        elif args.autotune and args.procs is not None:
+            n_refits = sum(
+                w.get("refits") or 0 for w in result.per_shard
+            )
+            print(
+                f"  policy refits        {n_refits:>10d}"
+                f"  (store v{result.policy_version})"
             )
         for wrapped in chaos:
             print(

@@ -251,6 +251,10 @@ class ShardWorker:
         snap = self.client.metrics.snapshot()
         return {
             "shard": self.shard_id,
+            # Every request routed here was either admitted or shed, so
+            # per-shard ``issued == completed + shed + errors`` holds —
+            # the identity validate_record checks on every worker.
+            "issued": self.accepted + self.shed,
             "accepted": self.accepted,
             "completed": snap.completed,
             "shed": self.shed,

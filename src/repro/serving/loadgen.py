@@ -42,9 +42,16 @@ from .fleet import ServingFleet
 ARRIVALS = ("poisson", "uniform")
 MODES = ("open", "closed")
 
-#: Schema version of the BENCH_serving.json document.
-RECORD_VERSION = 1
+#: Schema version of the BENCH_serving.json document. Version 2 added
+#: ``results.transport`` and the per-worker ``issued`` counter (with its
+#: per-worker counter identity); version-1 records stay readable.
+RECORD_VERSION = 2
 RECORD_KIND = "serving-loadgen"
+
+#: ``results.transport`` values: ``"loop"`` is the single-process
+#: ``ServingFleet`` (shards share one event loop); ``"unix"``/``"tcp"``
+#: are the socket transports of the multi-process ``ProcessFleet``.
+RECORD_TRANSPORTS = ("loop", "unix", "tcp")
 
 #: Quantiles every loadgen report carries (model milliseconds).
 REPORT_QUANTILES = (0.50, 0.99, 0.999)
@@ -71,6 +78,9 @@ class LoadgenResult:
     shards: int
     selector: str
     per_shard: list = field(default_factory=list)
+    #: ``"loop"`` (in-process ServingFleet) or a ProcessFleet socket
+    #: transport (``"unix"`` / ``"tcp"``).
+    transport: str = "loop"
 
     def render(self) -> str:
         """The ``repro loadgen`` report."""
@@ -80,9 +90,13 @@ class LoadgenResult:
                 "burst" if not self.target_rps else f"{self.target_rps:g} rps"
             )
             head += f", {self.arrival} arrivals @ {target}"
+        workers = (
+            f"{self.shards} shard(s)"
+            if self.transport == "loop"
+            else f"{self.shards} worker process(es) [{self.transport}]"
+        )
         lines = [
-            f"== loadgen [{head}] over {self.shards} shard(s) "
-            f"({self.selector}) ==",
+            f"== loadgen [{head}] over {workers} ({self.selector}) ==",
             f"  issued               {self.issued:>10d}",
             f"  completed            {self.completed:>10d}",
             f"  shed                 {self.shed:>10d}",
@@ -109,7 +123,12 @@ class LoadgenResult:
 
 
 class LoadGenerator:
-    """Drive a freshly built :class:`ServingFleet` at a target load.
+    """Drive a freshly built fleet at a target load.
+
+    Accepts anything with the :class:`ServingFleet` front-door surface —
+    the in-loop fleet itself or a
+    :class:`~repro.serving.procfleet.ProcessFleet` driving worker
+    processes over a real socket transport.
 
     The generator reads the fleet's merged metrics *after* the run, so
     give it a fleet that has not served traffic yet — reusing a fleet
@@ -263,6 +282,7 @@ class LoadGenerator:
             shards=fleet.n_shards,
             selector=fleet.selector_name,
             per_shard=stats["per_shard"],
+            transport=getattr(fleet, "transport", "loop"),
         )
 
 
@@ -305,6 +325,7 @@ def as_record(
             "policy_version": result.policy_version,
             "shards": result.shards,
             "selector": result.selector,
+            "transport": result.transport,
             "per_shard": list(result.per_shard),
         },
     }
@@ -316,6 +337,12 @@ def validate_record(record) -> list[str]:
     Returns a list of problems (empty: valid). Shared by the unit tests
     and the CI fleet job so the committed artifact and every CI-emitted
     one are held to the same contract.
+
+    Both schema versions are accepted: version-1 records (single-loop
+    fleets, pre-``transport``) are held to the version-1 contract;
+    version-2 records additionally need ``results.transport`` and the
+    per-worker counter identity ``issued == completed + shed + errors``
+    on every ``per_shard`` entry.
     """
     errors: list[str] = []
 
@@ -326,7 +353,11 @@ def validate_record(record) -> list[str]:
     check(isinstance(record, dict), "record must be a JSON object")
     if not isinstance(record, dict):
         return errors
-    check(record.get("version") == RECORD_VERSION, "version must be 1")
+    version = record.get("version")
+    check(
+        version in (1, RECORD_VERSION),
+        f"version must be 1 (legacy) or {RECORD_VERSION}",
+    )
     check(record.get("kind") == RECORD_KIND, f"kind must be {RECORD_KIND!r}")
     check(
         isinstance(record.get("recorded_unix"), int)
@@ -411,4 +442,35 @@ def validate_record(record) -> list[str]:
             len(per_shard) == results["shards"],
             "results.per_shard must have one entry per shard",
         )
+    if version == RECORD_VERSION:
+        check(
+            results.get("transport") in RECORD_TRANSPORTS,
+            "results.transport must be one of "
+            f"{RECORD_TRANSPORTS} (version >= 2)",
+        )
+        if isinstance(per_shard, list):
+            for entry in per_shard:
+                if not isinstance(entry, dict):
+                    errors.append("per_shard entries must be objects")
+                    continue
+                label = f"per_shard[{entry.get('shard', '?')}]"
+                counters = {}
+                for name in ("issued", "completed", "shed", "errors"):
+                    value = entry.get(name)
+                    if not isinstance(value, int) or value < 0:
+                        errors.append(
+                            f"{label}.{name} must be a non-negative "
+                            "integer (version >= 2)"
+                        )
+                        break
+                    counters[name] = value
+                else:
+                    check(
+                        counters["issued"]
+                        == counters["completed"]
+                        + counters["shed"]
+                        + counters["errors"],
+                        f"{label}: issued must equal "
+                        "completed + shed + errors",
+                    )
     return errors

@@ -1,0 +1,1038 @@
+"""A multi-process serving fleet: one event loop per core, sockets between.
+
+:class:`~repro.serving.fleet.ServingFleet` shards N hedging clients
+across *one* asyncio loop on *one* core — it measures concurrency, not
+parallelism. This module scales the same front-door contract out to real
+worker processes, the "Tail at Scale" deployment shape: hedging across
+independently scheduled workers whose stragglers are uncorrelated, and
+whose cost is paid over a real transport instead of an in-process call.
+
+* :class:`ProcessFleet` — the front door. Spawns one worker process per
+  shard, routes requests to them over length-prefixed frames on
+  Unix-domain or TCP sockets, contains worker death (a closed pipe sheds
+  the in-flight requests and reroutes new arrivals — the front door
+  never hangs), and aggregates per-worker
+  :class:`~repro.serving.metrics.ServingMetrics` through the existing
+  ``merge()`` contract.
+* :func:`_worker_main` — one worker: its own event loop, its own
+  :class:`~repro.serving.hedge.HedgedClient` (plus optional
+  :class:`~repro.serving.autotune.AutoTuner` on the tuned shard) wrapped
+  in the same :class:`~repro.serving.fleet.ShardWorker`
+  admission/policy-sync logic the in-loop fleet uses.
+* :class:`PolicyStoreServer` / :class:`RemotePolicyStore` — the
+  fleet-shared :class:`~repro.serving.fleet.PolicyStore` moved behind a
+  socket. The server (in the front-door process) owns the versioned
+  store; each worker's ``RemotePolicyStore`` is a drop-in replacement
+  whose ``get()`` serves a locally cached ``(version, policy)`` snapshot
+  refreshed every few calls, so one worker's autotuner refit still
+  propagates fleet-wide with the same monotone-version semantics at an
+  amortized per-request cost of a fraction of a socket round trip.
+
+Wire protocol
+-------------
+Every message is one frame: a 4-byte big-endian payload length, then a
+1-byte message type, then the payload. Control messages (request,
+response, shed, error, health, store get/publish) carry UTF-8 JSON;
+the metrics-pull and shutdown replies carry a pickle (the t-digest
+behind ``ServingMetrics`` has no stable JSON form). Pickle is only ever
+read from sockets this process itself created — a private Unix socket
+path or a 127.0.0.1 port handed to its own children — never from
+untrusted peers.
+
+Observability crosses the process boundary the same way the pipeline's
+pool does: the front door captures :func:`repro.obs.snapshot_context`,
+each worker buffers its spans under that parent via
+:func:`repro.obs.remote_context`, and the shutdown reply ships the span
+dicts home where :func:`repro.obs.absorb` re-parents them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import shutil
+import socket
+import struct
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from ..core.policies import ReissuePolicy
+from ..obs.trace import absorb, get_tracer, snapshot_context
+from .fleet import PolicyStore, ShardWorker, make_selector
+from .hedge import RequestOutcome
+from .metrics import ServingMetrics
+
+#: Transports the fleet (and ``repro loadgen --transport``) accepts.
+TRANSPORTS = ("unix", "tcp")
+
+_LEN = struct.Struct("!I")
+
+# -- message types -----------------------------------------------------------
+MSG_REQUEST = 0x01  # parent -> worker: {"seq", "qid"}
+MSG_RESPONSE = 0x02  # worker -> parent: {"seq", "qid", outcome fields}
+MSG_SHED = 0x03  # worker -> parent: {"seq", "qid"} (admission shed)
+MSG_ERROR = 0x04  # worker -> parent: {"seq", "qid", "error"}
+MSG_HEALTH = 0x05  # parent -> worker: {}
+MSG_HEALTHY = 0x06  # worker -> parent: {"shard", "pid", "served"}
+MSG_METRICS = 0x07  # parent -> worker: {} (metrics-pull)
+MSG_METRICS_REPLY = 0x08  # worker -> parent: pickle {"metrics", "stats"}
+MSG_SHUTDOWN = 0x09  # parent -> worker: {}
+MSG_BYE = 0x0A  # worker -> parent: pickle {"stats", "spans"}
+MSG_STORE_GET = 0x14  # client -> store: {}
+MSG_STORE_STATE = 0x15  # store -> client: {"version", "policy"}
+MSG_STORE_PUBLISH = 0x16  # client -> store: {"policy", "source"}
+
+_PICKLED_TYPES = frozenset({MSG_METRICS_REPLY, MSG_BYE})
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(msg_type: int, body) -> bytes:
+    """One wire frame: length prefix, type byte, JSON or pickle payload."""
+    if msg_type in _PICKLED_TYPES:
+        payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        payload = json.dumps(body, separators=(",", ":")).encode()
+    return _LEN.pack(len(payload) + 1) + bytes((msg_type,)) + payload
+
+
+def decode_payload(msg_type: int, payload: bytes):
+    if msg_type in _PICKLED_TYPES:
+        return pickle.loads(payload)
+    return json.loads(payload.decode())
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, object]:
+    """Read one frame; raises ``IncompleteReadError`` on a closed peer."""
+    head = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(head)
+    blob = await reader.readexactly(length)
+    return blob[0], decode_payload(blob[0], blob[1:])
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame_blocking(sock: socket.socket) -> tuple[int, object]:
+    """Blocking-socket twin of :func:`read_frame`."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    blob = _recv_exact(sock, length)
+    return blob[0], decode_payload(blob[0], blob[1:])
+
+
+def _connect_blocking(transport: str, address, timeout: float) -> socket.socket:
+    if transport == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+    else:
+        host, port = address
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# The socket-backed PolicyStore
+# ---------------------------------------------------------------------------
+
+
+class PolicyStoreServer:
+    """Serve a :class:`PolicyStore` to worker processes over a socket.
+
+    Runs in the front-door process on daemon threads (one acceptor, one
+    per connection) so publishes and reads never touch the serving event
+    loop. The wrapped store keeps the exact in-process semantics —
+    monotone versions, ``publishes`` provenance — so ``fleet.store`` is
+    the same object whichever fleet flavour sits in front of it.
+    """
+
+    def __init__(
+        self,
+        store: PolicyStore | None = None,
+        *,
+        transport: str = "unix",
+        runtime_dir: str | None = None,
+    ):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(valid: {', '.join(TRANSPORTS)})"
+            )
+        self.store = store if store is not None else PolicyStore()
+        self.transport = transport
+        self._closing = threading.Event()
+        if transport == "unix":
+            path = os.path.join(
+                runtime_dir or tempfile.mkdtemp(prefix="repro-store-"),
+                "policy.sock",
+            )
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.bind(path)
+            self.address = path
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._sock.bind(("127.0.0.1", 0))
+            self.address = list(self._sock.getsockname())
+        self._sock.listen(32)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-policy-store", daemon=True
+        )
+        self._acceptor.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_conn, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(None)
+            while True:
+                try:
+                    msg_type, body = recv_frame_blocking(conn)
+                except (ConnectionError, OSError, struct.error):
+                    return
+                if msg_type == MSG_STORE_GET:
+                    version, policy = self.store.get()
+                    reply = {
+                        "version": version,
+                        "policy": None if policy is None else policy.to_spec(),
+                    }
+                elif msg_type == MSG_STORE_PUBLISH:
+                    policy = ReissuePolicy.from_spec(body["policy"])
+                    version = self.store.publish(
+                        policy, source=body.get("source", "")
+                    )
+                    reply = {"version": version, "policy": body["policy"]}
+                else:
+                    return  # unknown frame: drop the connection
+                try:
+                    conn.sendall(encode_frame(MSG_STORE_STATE, reply))
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self.transport == "unix":
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+
+
+class RemotePolicyStore:
+    """Worker-side :class:`PolicyStore` replacement over a socket.
+
+    ``get()`` returns a locally cached ``(version, policy)`` snapshot
+    and refreshes it from the server every ``poll_every`` calls — the
+    per-request policy sync the :class:`ShardWorker` does stays O(1)
+    with a bounded staleness of ``poll_every`` requests, which is the
+    same order as the in-loop fleet's "adopt before the next request".
+    ``publish()`` is a synchronous round trip (refits are rare) and
+    updates the cache immediately, so a tuned worker always serves the
+    version it just published.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        transport: str = "unix",
+        poll_every: int = 8,
+        timeout: float = 10.0,
+    ):
+        if poll_every < 1:
+            raise ValueError("poll_every must be >= 1")
+        self.transport = transport
+        self.address = address
+        self.poll_every = int(poll_every)
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._calls = 0
+        self._version = 0
+        self._policy: ReissuePolicy | None = None
+        self.refresh()  # fail fast if the server is unreachable
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def policy(self) -> ReissuePolicy | None:
+        return self._policy
+
+    def _rpc(self, msg_type: int, body: dict) -> dict:
+        with self._lock:
+            if self._sock is None:
+                self._sock = _connect_blocking(
+                    self.transport, self.address, self.timeout
+                )
+            try:
+                self._sock.sendall(encode_frame(msg_type, body))
+                reply_type, reply = recv_frame_blocking(self._sock)
+            except (ConnectionError, OSError):
+                # One reconnect attempt: the server may have restarted.
+                self._sock.close()
+                self._sock = _connect_blocking(
+                    self.transport, self.address, self.timeout
+                )
+                self._sock.sendall(encode_frame(msg_type, body))
+                reply_type, reply = recv_frame_blocking(self._sock)
+            if reply_type != MSG_STORE_STATE:
+                raise ConnectionError(
+                    f"unexpected policy-store reply type {reply_type:#x}"
+                )
+            return reply
+
+    def _adopt(self, reply: dict) -> None:
+        version = int(reply["version"])
+        if version != self._version:
+            spec = reply.get("policy")
+            self._policy = (
+                None if spec is None else ReissuePolicy.from_spec(spec)
+            )
+            self._version = version
+
+    def refresh(self) -> tuple[int, ReissuePolicy | None]:
+        """Force a round trip to the server; returns the fresh snapshot."""
+        self._adopt(self._rpc(MSG_STORE_GET, {}))
+        return self._version, self._policy
+
+    def get(self) -> tuple[int, ReissuePolicy | None]:
+        """The cached ``(version, policy)``, refreshed every few calls."""
+        self._calls += 1
+        if self._version == 0 or self._calls % self.poll_every == 0:
+            try:
+                self.refresh()
+            except (ConnectionError, OSError):
+                pass  # serve the cached policy; next poll retries
+        return self._version, self._policy
+
+    def publish(self, policy: ReissuePolicy, source: str = "") -> int:
+        if not isinstance(policy, ReissuePolicy):
+            raise TypeError(
+                f"expected a ReissuePolicy, got {type(policy).__name__}"
+            )
+        reply = self._rpc(
+            MSG_STORE_PUBLISH, {"policy": policy.to_spec(), "source": source}
+        )
+        self._adopt(reply)
+        return self._version
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+
+# ---------------------------------------------------------------------------
+# The worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(spec: dict) -> None:
+    """Entry point of one worker process (must stay module-level so the
+    ``spawn`` start method can import it)."""
+    asyncio.run(_worker_serve(spec))
+
+
+async def _worker_serve(spec: dict) -> None:
+    from ..obs.trace import remote_context
+    from ..scenarios.engines import serving_backend
+    from ..scenarios.model import Scenario
+    from .autotune import AutoTuner
+    from .hedge import HedgedClient
+
+    shard_id = int(spec["shard_id"])
+    scenario = Scenario.from_dict(spec["scenario"])
+    backend_seq, client_seq = np.random.SeedSequence(
+        (int(spec["seed"]), shard_id, 0xF1EE7)
+    ).spawn(2)
+    backend = serving_backend(
+        scenario, spec["time_scale"], np.random.default_rng(backend_seq)
+    )
+    tuner = None
+    if spec.get("autotune") and spec.get("tuned"):
+        tuner = AutoTuner(**spec["autotune"])
+    policy = None
+    if spec.get("policy") is not None and tuner is None:
+        policy = ReissuePolicy.from_spec(spec["policy"])
+    store = RemotePolicyStore(
+        spec["store_address"],
+        transport=spec["transport"],
+        poll_every=spec.get("poll_every", 8),
+    )
+    client = HedgedClient(
+        backend,
+        policy,
+        concurrency=spec["concurrency"],
+        deadline_ms=spec["deadline_ms"],
+        probe_fraction=spec["probe_fraction"],
+        tuner=tuner,
+        rng=np.random.default_rng(client_seq),
+    )
+    shard = ShardWorker(shard_id, client, store, spec["admission_limit"])
+    done = asyncio.Event()
+
+    def worker_stats() -> dict:
+        stats = shard.stats()
+        stats.update(
+            pid=os.getpid(),
+            refits=0 if tuner is None else tuner.n_refits,
+            store_version=store.version,
+            policy_spec=client.policy.to_spec(),
+            peak_in_flight=client.peak_in_flight,
+        )
+        return stats
+
+    async def handle_conn(reader, writer):
+        wlock = asyncio.Lock()
+
+        async def send(msg_type: int, body) -> None:
+            async with wlock:
+                writer.write(encode_frame(msg_type, body))
+                await writer.drain()
+
+        async def serve_request(seq: int, qid: int) -> None:
+            # If the parent connection closed mid-request the reply has
+            # nowhere to go — drop it; the parent already shed the seq.
+            try:
+                await _serve_request(seq, qid)
+            except (RuntimeError, ConnectionError, OSError):
+                pass
+
+        async def _serve_request(seq: int, qid: int) -> None:
+            try:
+                outcome = await shard.serve_one(qid)
+            except Exception as exc:  # noqa: BLE001 - contained, reported
+                shard.errors += 1
+                await send(
+                    MSG_ERROR,
+                    {
+                        "seq": seq,
+                        "qid": qid,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+                return
+            if outcome is None:
+                await send(MSG_SHED, {"seq": seq, "qid": qid})
+                return
+            await send(
+                MSG_RESPONSE,
+                {
+                    "seq": seq,
+                    "qid": qid,
+                    "latency_ms": outcome.latency_ms,
+                    "winner": outcome.winner,
+                    "n_planned": outcome.n_planned,
+                    "n_reissues": outcome.n_reissues,
+                    "cancelled": outcome.cancelled_attempts,
+                    "deadline": outcome.deadline_exceeded,
+                    "pair": (
+                        None if outcome.pair is None else list(outcome.pair)
+                    ),
+                },
+            )
+
+        try:
+            while True:
+                try:
+                    msg_type, body = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                if msg_type == MSG_REQUEST:
+                    asyncio.ensure_future(
+                        serve_request(body["seq"], body["qid"])
+                    )
+                elif msg_type == MSG_HEALTH:
+                    await send(
+                        MSG_HEALTHY,
+                        {
+                            "shard": shard_id,
+                            "pid": os.getpid(),
+                            "served": client.metrics.completed,
+                        },
+                    )
+                elif msg_type == MSG_METRICS:
+                    await send(
+                        MSG_METRICS_REPLY,
+                        {"metrics": client.metrics, "stats": worker_stats()},
+                    )
+                elif msg_type == MSG_SHUTDOWN:
+                    if tuner is not None:
+                        try:
+                            tuner.close()
+                        except Exception:  # noqa: BLE001 - report, don't die
+                            pass
+                    tracer = get_tracer()
+                    spans = (
+                        [s.as_dict() for s in tracer.drain()]
+                        if tracer.enabled
+                        else []
+                    )
+                    await send(
+                        MSG_BYE, {"stats": worker_stats(), "spans": spans}
+                    )
+                    done.set()
+                    return
+                else:
+                    return  # unknown frame: drop the connection
+        except asyncio.CancelledError:
+            # Server teardown cancels open connection handlers; exiting
+            # quietly keeps the asyncio streams callback from logging.
+            return
+        finally:
+            writer.close()
+
+    with remote_context(spec.get("trace_ctx")):
+        if spec["transport"] == "unix":
+            server = await asyncio.start_unix_server(
+                handle_conn, path=spec["worker_path"]
+            )
+            address = spec["worker_path"]
+        else:
+            server = await asyncio.start_server(handle_conn, "127.0.0.1", 0)
+            address = list(server.sockets[0].getsockname())
+        # The ready file both signals readiness and reports the bound
+        # address (a TCP worker picks its own port). Write-then-rename so
+        # the parent never reads a half-written file.
+        tmp_path = spec["ready_path"] + ".tmp"
+        with open(tmp_path, "w") as fh:
+            json.dump({"address": address, "pid": os.getpid()}, fh)
+        os.replace(tmp_path, spec["ready_path"])
+        async with server:
+            await done.wait()
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# The front door
+# ---------------------------------------------------------------------------
+
+
+class _WorkerDied(ConnectionError):
+    """The worker's pipe closed while requests were in flight."""
+
+
+class WorkerHandle:
+    """The front door's view of one worker process.
+
+    Owns the process handle, the per-event-loop request connection, and
+    the parent-side accounting: ``dispatched``/``completed``/``shed``/
+    ``errors`` counters plus a shadow :class:`ServingMetrics` rebuilt
+    from response frames. The shadow is what keeps the fleet's merged
+    counters exact when a worker dies — its own metrics die with it, but
+    every response that actually reached the front door is still
+    accounted.
+    """
+
+    def __init__(self, spec: dict, ctx):
+        self.spec = spec
+        self.shard_id = int(spec["shard_id"])
+        self._ctx = ctx
+        self.process = None
+        self.address = None
+        self.dispatched = 0
+        self.completed = 0
+        self.shed = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.died = False
+        self.shadow = ServingMetrics()
+        self._seq = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._loop = None
+        self._reader = None
+        self._writer = None
+        self._wlock: asyncio.Lock | None = None
+        self._conn_lock: asyncio.Lock | None = None
+        self._read_task = None  # strong ref: create_task alone is weak
+
+    # -- lifecycle -----------------------------------------------------------
+    def spawn(self) -> None:
+        self.process = self._ctx.Process(
+            target=_worker_main, args=(self.spec,), daemon=True
+        )
+        self.process.start()
+
+    def wait_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        ready_path = self.spec["ready_path"]
+        while time.monotonic() < deadline:
+            if os.path.exists(ready_path):
+                with open(ready_path) as fh:
+                    info = json.load(fh)
+                self.address = info["address"]
+                return
+            if not self.process.is_alive():
+                raise RuntimeError(
+                    f"worker {self.shard_id} exited during startup "
+                    f"(exitcode {self.process.exitcode})"
+                )
+            time.sleep(0.01)
+        raise TimeoutError(
+            f"worker {self.shard_id} did not come up within {timeout:.0f}s"
+        )
+
+    @property
+    def alive(self) -> bool:
+        return (
+            not self.died
+            and self.process is not None
+            and self.process.is_alive()
+        )
+
+    @property
+    def load(self) -> int:
+        """Requests in flight to this worker (the routing signal)."""
+        return self.in_flight
+
+    # -- the request path ----------------------------------------------------
+    async def _ensure_connected(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            # First touch from a new event loop (the LoadGenerator runs
+            # one asyncio.run per run): reset per-loop state. No await
+            # between the check and the reset, so this is race-free.
+            self._loop = loop
+            self._reader = self._writer = self._read_task = None
+            self._wlock = asyncio.Lock()
+            self._conn_lock = asyncio.Lock()
+        async with self._conn_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            if self.spec["transport"] == "unix":
+                reader, writer = await asyncio.open_unix_connection(
+                    self.address
+                )
+            else:
+                host, port = self.address
+                reader, writer = await asyncio.open_connection(
+                    host, int(port)
+                )
+            self._reader, self._writer = reader, writer
+            self._read_task = loop.create_task(self._read_loop(reader))
+
+    async def _read_loop(self, reader) -> None:
+        try:
+            while True:
+                msg_type, body = await read_frame(reader)
+                future = self._pending.pop(body.get("seq"), None)
+                if future is not None and not future.done():
+                    future.set_result((msg_type, body))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            # Runs both on worker EOF and on event-loop teardown (task
+            # cancellation): fail whatever is still pending — those
+            # requests will never be answered on this connection — but
+            # only mark the worker dead if its process actually exited.
+            if reader is self._reader:
+                self._fail_pending()
+                self._check_liveness()
+
+    def _fail_pending(self) -> None:
+        """The pipe closed: fail every pending request as shed."""
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(_WorkerDied())
+
+    def _check_liveness(self) -> None:
+        if self.process is not None and not self.process.is_alive():
+            self.died = True
+
+    async def submit(self, query_id: int) -> RequestOutcome | None:
+        """Dispatch one request; ``None`` means shed, errored, or lost
+        to a dying worker — the caller's stream never sees an exception."""
+        self.dispatched += 1
+        if not self.alive:
+            self.shed += 1
+            return None
+        seq = next(self._seq)
+        self.in_flight += 1
+        try:
+            await self._ensure_connected()
+            future = asyncio.get_running_loop().create_future()
+            self._pending[seq] = future
+            frame = encode_frame(
+                MSG_REQUEST, {"seq": seq, "qid": int(query_id)}
+            )
+            async with self._wlock:
+                self._writer.write(frame)
+                await self._writer.drain()
+            msg_type, body = await future
+        except (_WorkerDied, ConnectionError, OSError):
+            self._pending.pop(seq, None)
+            self._check_liveness()
+            self.shed += 1
+            return None
+        finally:
+            self.in_flight -= 1
+        if msg_type == MSG_RESPONSE:
+            self.completed += 1
+            outcome = RequestOutcome(
+                query_id=int(body["qid"]),
+                latency_ms=float(body["latency_ms"]),
+                winner=body["winner"],
+                n_planned=int(body["n_planned"]),
+                n_reissues=int(body["n_reissues"]),
+                cancelled_attempts=int(body["cancelled"]),
+                deadline_exceeded=bool(body["deadline"]),
+                pair=None if body["pair"] is None else tuple(body["pair"]),
+            )
+            self.shadow.record(outcome)
+            return outcome
+        if msg_type == MSG_SHED:
+            self.shed += 1
+            return None
+        self.errors += 1  # MSG_ERROR: contained worker-side failure
+        return None
+
+    # -- blocking control-plane RPCs (off the event loop) --------------------
+    def control_rpc(self, msg_type: int, body: dict, timeout: float = 10.0):
+        """One blocking request/reply on a fresh connection — usable
+        after the serving event loop has closed (metrics-pull, health,
+        shutdown all come through here)."""
+        sock = _connect_blocking(
+            self.spec["transport"], self.address, timeout
+        )
+        try:
+            sock.sendall(encode_frame(msg_type, body))
+            return recv_frame_blocking(sock)
+        finally:
+            sock.close()
+
+    def pull(self) -> dict | None:
+        """Metrics-pull: the worker's live ``ServingMetrics`` + stats,
+        or ``None`` for a dead/unreachable worker."""
+        if not self.alive:
+            return None
+        try:
+            msg_type, body = self.control_rpc(MSG_METRICS, {})
+        except (ConnectionError, OSError, TimeoutError):
+            self.died = True
+            return None
+        if msg_type != MSG_METRICS_REPLY:
+            return None
+        return body
+
+    def healthcheck(self, timeout: float = 5.0) -> dict | None:
+        if not self.alive:
+            return None
+        try:
+            msg_type, body = self.control_rpc(MSG_HEALTH, {}, timeout)
+        except (ConnectionError, OSError, TimeoutError):
+            return None
+        return body if msg_type == MSG_HEALTHY else None
+
+    def shutdown(self, timeout: float = 10.0) -> dict | None:
+        """Graceful stop; returns the BYE payload (final stats + spans)."""
+        bye = None
+        if self.alive:
+            try:
+                msg_type, body = self.control_rpc(MSG_SHUTDOWN, {}, timeout)
+                if msg_type == MSG_BYE:
+                    bye = body
+            except (ConnectionError, OSError, TimeoutError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=timeout)
+        return bye
+
+    def kill(self) -> None:
+        """SIGKILL the worker (fault injection for tests)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+
+
+class ProcessFleet:
+    """N worker *processes* behind the same front door as ``ServingFleet``.
+
+    Duck-compatible with :class:`~repro.serving.fleet.ServingFleet` where
+    the :class:`~repro.serving.loadgen.LoadGenerator` is concerned:
+    ``await fleet.request(qid)``, ``fleet.metrics()`` (merged via the
+    ``ServingMetrics.merge`` contract), ``fleet.stats()``,
+    ``shed_total`` / ``errors`` / ``store.version``. The differences are
+    what the process boundary buys: every worker owns a core-wide event
+    loop, requests travel over real sockets, and one worker dying sheds
+    its in-flight requests and reroutes new arrivals instead of taking
+    the fleet down.
+
+    Parameters mirror ``ServingFleet.build`` plus the process-fleet
+    knobs: ``transport`` (``"unix"`` default, ``"tcp"``), ``autotune``
+    (an :class:`AutoTuner` kwargs dict for the tuned shard — the tuner
+    itself must be built in the worker process), and ``poll_every``
+    (worker policy-cache refresh stride).
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        scenario,
+        *,
+        policy: ReissuePolicy | None = None,
+        selector="round-robin",
+        admission_limit: int | None = None,
+        concurrency: int = 64,
+        deadline_ms: float | None = None,
+        probe_fraction: float = 0.0,
+        autotune: dict | None = None,
+        tuned_shard: int = 0,
+        time_scale: float = 2e-5,
+        transport: str = "unix",
+        poll_every: int = 8,
+        seed: int = 0,
+        spawn_timeout: float = 60.0,
+    ):
+        if n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(valid: {', '.join(TRANSPORTS)})"
+            )
+        if autotune is not None and not 0 <= tuned_shard < n_procs:
+            raise ValueError(
+                f"tuned_shard {tuned_shard} out of range for "
+                f"{n_procs} worker(s)"
+            )
+        self.transport = transport
+        self.time_scale = float(time_scale)
+        if isinstance(selector, str):
+            self.selector_name = selector
+            self.selector = make_selector(selector)
+        else:
+            self.selector_name = type(selector).__name__
+            self.selector = selector
+        self._runtime_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        self._store_server = PolicyStoreServer(
+            PolicyStore(policy),
+            transport=transport,
+            runtime_dir=self._runtime_dir,
+        )
+        self.requests = 0
+        self.shed_unrouted = 0
+        self._absorbed_spans = 0
+        self._closed = False
+        ctx = multiprocessing.get_context("spawn")
+        scenario_dict = scenario.to_dict()
+        trace_ctx = snapshot_context()
+        self.workers = []
+        for i in range(n_procs):
+            spec = {
+                "shard_id": i,
+                "scenario": scenario_dict,
+                "policy": None if policy is None else policy.to_spec(),
+                "autotune": dict(autotune) if autotune else None,
+                "tuned": autotune is not None and i == tuned_shard,
+                "concurrency": int(concurrency),
+                "deadline_ms": deadline_ms,
+                "probe_fraction": float(probe_fraction),
+                "admission_limit": admission_limit,
+                "time_scale": float(time_scale),
+                "transport": transport,
+                "store_address": self._store_server.address,
+                "worker_path": os.path.join(
+                    self._runtime_dir, f"worker{i}.sock"
+                ),
+                "ready_path": os.path.join(
+                    self._runtime_dir, f"worker{i}.ready"
+                ),
+                "poll_every": int(poll_every),
+                "seed": int(seed),
+                "trace_ctx": trace_ctx,
+            }
+            self.workers.append(WorkerHandle(spec, ctx))
+        try:
+            for worker in self.workers:
+                worker.spawn()
+            deadline = time.monotonic() + spawn_timeout
+            for worker in self.workers:
+                worker.wait_ready(max(deadline - time.monotonic(), 0.1))
+        except BaseException:
+            self.close()
+            raise
+
+    # -- ServingFleet-compatible surface -------------------------------------
+    @property
+    def store(self) -> PolicyStore:
+        """The authoritative fleet policy store (lives in this process)."""
+        return self._store_server.store
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.workers)
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_unrouted + sum(w.shed for w in self.workers)
+
+    @property
+    def errors(self) -> int:
+        return sum(w.errors for w in self.workers)
+
+    @property
+    def completed_total(self) -> int:
+        return sum(w.completed for w in self.workers)
+
+    @property
+    def live_workers(self) -> list[WorkerHandle]:
+        return [w for w in self.workers if w.alive]
+
+    async def request(self, query_id: int, key=None) -> RequestOutcome | None:
+        """Route one request to a live worker over the socket transport.
+
+        Returns ``None`` when it was shed (admission, no live worker, or
+        a worker died with it in flight) or every attempt errored —
+        worker failure is contained here, never raised to the stream.
+        """
+        self.requests += 1
+        live = self.live_workers
+        if not live:
+            self.shed_unrouted += 1
+            return None
+        worker = live[self.selector.select(live, query_id, key) % len(live)]
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await worker.submit(query_id)
+        with tracer.span(
+            "fleet.request", query_id=query_id, shard=worker.shard_id
+        ) as span:
+            outcome = await worker.submit(query_id)
+            span.attrs["ok"] = outcome is not None
+            span.attrs["transport"] = self.transport
+            return outcome
+
+    def metrics(self) -> ServingMetrics:
+        """Fleet-merged telemetry via ``ServingMetrics.merge``.
+
+        Live workers are pulled over the metrics-pull RPC (their own
+        sketches, the same objects a single-process shard would merge);
+        a dead worker contributes its front-door shadow instead, so the
+        merged counters still account for every response that arrived.
+        """
+        merged = ServingMetrics().merge(ServingMetrics())
+        for worker in self.workers:
+            pulled = worker.pull()
+            part = worker.shadow if pulled is None else pulled["metrics"]
+            merged = merged.merge(part)
+        return merged
+
+    def snapshot(self):
+        return self.metrics().snapshot()
+
+    def stats(self) -> dict:
+        """Fleet accounting: front-door counters + per-worker detail.
+
+        Counter truth (``issued``/``completed``/``shed``/``errors``) is
+        front-door-side so the identity ``issued == completed + shed +
+        errors`` holds per worker even across a crash; latency/tuning
+        detail is pulled from the worker when it is alive.
+        """
+        per_worker = []
+        for worker in self.workers:
+            pulled = worker.pull()
+            entry = {
+                "shard": worker.shard_id,
+                "issued": worker.dispatched,
+                "accepted": worker.completed + worker.errors,
+                "completed": worker.completed,
+                "shed": worker.shed,
+                "errors": worker.errors,
+                "alive": worker.alive,
+                "peak_active": None,
+                "reissue_rate": round(worker.shadow.reissue_rate, 4),
+                "deadline_misses": worker.shadow.deadline_exceeded,
+                "p99_ms": (
+                    round(worker.shadow.quantile(0.99), 3)
+                    if worker.shadow.completed
+                    else None
+                ),
+            }
+            if pulled is not None:
+                detail = pulled["stats"]
+                entry.update(
+                    peak_active=detail.get("peak_active"),
+                    pid=detail.get("pid"),
+                    refits=detail.get("refits", 0),
+                    store_version=detail.get("store_version", 0),
+                    policy_spec=detail.get("policy_spec"),
+                )
+            per_worker.append(entry)
+        unrouted = self.shed_unrouted
+        return {
+            "shards": self.n_shards,
+            "selector": self.selector_name,
+            "transport": self.transport,
+            "requests": self.requests,
+            "completed": self.completed_total,
+            "shed": self.shed_total,
+            "shed_unrouted": unrouted,
+            "errors": self.errors,
+            "policy_version": self.store.version,
+            "per_shard": per_worker,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down, absorb their spans, stop the store
+        server, and remove the socket/ready files (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            bye = worker.shutdown()
+            if bye and bye.get("spans"):
+                self._absorbed_spans += absorb(bye["spans"])
+        self._store_server.close()
+        shutil.rmtree(self._runtime_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass

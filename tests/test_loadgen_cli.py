@@ -78,6 +78,23 @@ class TestLoadgenRuns:
         assert rc == 0
         assert "policy refits" in capsys.readouterr().out
 
+    def test_procs_smoke_writes_valid_v2_record(self, tmp_path, capsys):
+        rc, out = run_quick(tmp_path, "--procs", "2")
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "worker process(es)" in stdout
+        record = json.loads(out.read_text())
+        assert validate_record(record) == []
+        assert record["version"] == RECORD_VERSION
+        assert record["results"]["transport"] == "unix"
+        assert record["results"]["issued"] == 80
+        assert record["config"]["procs"] == 2
+        for shard in record["results"]["per_shard"]:
+            assert (
+                shard["issued"]
+                == shard["completed"] + shard["shed"] + shard["errors"]
+            )
+
 
 class TestLoadgenArgumentErrors:
     """Errors must name the offending flag, not raise a bare KeyError."""
@@ -118,6 +135,23 @@ class TestLoadgenArgumentErrors:
         err = self.err(capsys, "no-such-scenario", "--no-write")
         assert "no-such-scenario" in err
 
+    def test_procs_below_one(self, capsys):
+        assert "--procs" in self.err(capsys, "--procs", "0")
+
+    def test_transport_requires_procs(self, capsys):
+        err = self.err(capsys, "--transport", "unix")
+        assert "--transport" in err and "--procs" in err
+
+    def test_unknown_transport_lists_valid_values(self, capsys):
+        err = self.err(capsys, "--procs", "2", "--transport", "osmosis")
+        assert "--transport" in err
+        assert "'osmosis'" in err
+        assert "unix" in err and "tcp" in err
+
+    def test_chaos_spike_rejected_with_procs(self, capsys):
+        err = self.err(capsys, "--procs", "2", "--chaos-spike", "10")
+        assert "--chaos-spike" in err and "--procs" in err
+
 
 class TestValidateRecord:
     @pytest.fixture
@@ -148,6 +182,32 @@ class TestValidateRecord:
 
     def test_non_dict_rejected(self):
         assert validate_record([]) != []
+
+    def test_in_loop_run_records_loop_transport(self, record):
+        assert record["version"] == RECORD_VERSION
+        assert record["results"]["transport"] == "loop"
+
+    def test_unknown_transport_value_rejected(self, record):
+        record["results"]["transport"] = "semaphore-flags"
+        assert any("transport" in p for p in validate_record(record))
+
+    def test_per_shard_identity_enforced_v2(self, record):
+        record["results"]["per_shard"][0]["issued"] += 1
+        problems = validate_record(record)
+        assert any("per_shard[0]" in p for p in problems)
+
+    def test_legacy_v1_record_still_validates(self, record):
+        # A pre-transport record (as committed by earlier revisions):
+        # no results.transport, no per-shard issued counters.
+        record["version"] = 1
+        del record["results"]["transport"]
+        for shard in record["results"]["per_shard"]:
+            del shard["issued"]
+        assert validate_record(record) == []
+
+    def test_unknown_version_rejected(self, record):
+        record["version"] = 3
+        assert any("version" in p for p in validate_record(record))
 
 
 class TestLoadgenStore:

@@ -1,0 +1,312 @@
+"""Tests for the multi-process serving fleet (``repro.serving.procfleet``).
+
+The process-spawning tests keep fleet spins to a minimum — each
+``ProcessFleet`` pays a real ``spawn``-context interpreter start per
+worker — and drive everything through the public front door so the wire
+protocol, the socket-backed policy store, and the death accounting are
+exercised exactly as ``repro loadgen --procs`` uses them.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.policies import SingleR
+from repro.scenarios import coerce_scenario
+from repro.serving.fleet import PolicyStore
+from repro.serving.loadgen import (
+    RECORD_VERSION,
+    LoadGenerator,
+    as_record,
+    validate_record,
+)
+from repro.serving.procfleet import (
+    MSG_BYE,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    PolicyStoreServer,
+    ProcessFleet,
+    RemotePolicyStore,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    recv_frame_blocking,
+)
+
+
+def quick_scenario():
+    return coerce_scenario("fleet-tail-quick").check()
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol (no processes)
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_json_frame_round_trip(self):
+        body = {"seq": 7, "qid": 123, "latency_ms": 4.5, "pair": None}
+        frame = encode_frame(MSG_REQUEST, body)
+        # 4-byte length prefix + 1 type byte, then the JSON payload.
+        assert frame[4] == MSG_REQUEST
+        assert decode_payload(frame[4], frame[5:]) == body
+
+    def test_pickle_frame_round_trip(self):
+        from repro.serving.metrics import ServingMetrics
+
+        metrics = ServingMetrics()
+        frame = encode_frame(MSG_BYE, {"stats": {"x": 1}, "metrics": metrics})
+        decoded = decode_payload(frame[4], frame[5:])
+        assert decoded["stats"] == {"x": 1}
+        assert decoded["metrics"].completed == 0
+
+    def test_blocking_and_async_readers_agree(self):
+        parent, child = socket.socketpair()
+        try:
+            body = {"seq": 1, "qid": 2}
+            parent.sendall(encode_frame(MSG_RESPONSE, body))
+            msg_type, decoded = recv_frame_blocking(child)
+            assert (msg_type, decoded) == (MSG_RESPONSE, body)
+
+            async def round_trip():
+                reader = asyncio.StreamReader()
+                reader.feed_data(encode_frame(MSG_REQUEST, body))
+                reader.feed_eof()
+                return await read_frame(reader)
+
+            msg_type, decoded = asyncio.run(round_trip())
+            assert (msg_type, decoded) == (MSG_REQUEST, body)
+        finally:
+            parent.close()
+            child.close()
+
+    def test_partial_frame_raises_on_closed_peer(self):
+        parent, child = socket.socketpair()
+        parent.sendall(b"\x00\x00\x00\x10\x01trunc")
+        parent.close()
+        with pytest.raises(ConnectionError):
+            recv_frame_blocking(child)
+        child.close()
+
+
+# ---------------------------------------------------------------------------
+# The socket-backed PolicyStore (threads only, no processes)
+# ---------------------------------------------------------------------------
+
+
+class TestRemotePolicyStore:
+    def test_publish_propagates_between_clients(self, tmp_path):
+        server = PolicyStoreServer(
+            PolicyStore(SingleR(10.0, 0.5)), runtime_dir=str(tmp_path)
+        )
+        try:
+            a = RemotePolicyStore(server.address, poll_every=1)
+            b = RemotePolicyStore(server.address, poll_every=1)
+            # Both see the seed publish (version 1).
+            assert a.get() == (1, SingleR(10.0, 0.5))
+            assert b.get() == (1, SingleR(10.0, 0.5))
+            # A publish from one client reaches the other at v2, with
+            # the same monotone-version + provenance semantics as the
+            # in-process store.
+            assert a.publish(SingleR(25.0, 0.3), source="clientA") == 2
+            assert a.version == 2  # publisher's cache updates in place
+            assert b.get() == (2, SingleR(25.0, 0.3))
+            assert server.store.publishes == [(1, "init"), (2, "clientA")]
+            a.close()
+            b.close()
+        finally:
+            server.close()
+
+    def test_get_serves_cache_between_polls(self, tmp_path):
+        server = PolicyStoreServer(
+            PolicyStore(SingleR(10.0, 0.5)), runtime_dir=str(tmp_path)
+        )
+        try:
+            client = RemotePolicyStore(server.address, poll_every=1000)
+            assert client.get()[0] == 1
+            server.store.publish(SingleR(99.0, 0.1), source="direct")
+            # Bounded staleness: inside the poll stride the cached
+            # snapshot is served; an explicit refresh sees the publish.
+            assert client.get()[0] == 1
+            assert client.refresh() == (2, SingleR(99.0, 0.1))
+            client.close()
+        finally:
+            server.close()
+
+    def test_tcp_transport(self):
+        server = PolicyStoreServer(PolicyStore(), transport="tcp")
+        try:
+            client = RemotePolicyStore(server.address, transport="tcp")
+            assert client.get() == (0, None)
+            assert client.publish(SingleR(5.0, 0.2), source="t") == 1
+            client.close()
+        finally:
+            server.close()
+
+    def test_unknown_transport_is_named(self):
+        with pytest.raises(ValueError, match="unix, tcp"):
+            PolicyStoreServer(PolicyStore(), transport="carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# The process fleet itself
+# ---------------------------------------------------------------------------
+
+
+class TestProcessFleet:
+    def test_smoke_counters_metrics_and_record(self, tmp_path):
+        scenario = quick_scenario()
+        fleet = ProcessFleet(
+            2,
+            scenario,
+            policy=scenario.build_policy(),
+            time_scale=0.0,
+            seed=3,
+        )
+        try:
+            generator = LoadGenerator(fleet, rng=3)
+            result = generator.run(80, mode="open", target_rps=0)
+            assert result.issued == 80
+            assert result.completed == 80
+            assert result.transport == "unix"
+            # Per-worker and merged counter identity.
+            stats = fleet.stats()
+            assert stats["transport"] == "unix"
+            assert len(stats["per_shard"]) == 2
+            for worker in stats["per_shard"]:
+                assert (
+                    worker["issued"]
+                    == worker["completed"] + worker["shed"] + worker["errors"]
+                )
+                assert worker["alive"]
+            pids = {worker["pid"] for worker in stats["per_shard"]}
+            assert len(pids) == 2  # real processes, not threads
+            # Merged metrics come from the workers' own sketches.
+            merged = fleet.metrics()
+            assert merged.completed == 80
+            assert merged.quantile(0.99) >= merged.quantile(0.50) > 0
+            # The run shapes into a valid version-2 record.
+            record = as_record(result, scenario.name, {"procs": 2})
+            assert record["version"] == RECORD_VERSION
+            assert record["results"]["transport"] == "unix"
+            assert validate_record(record) == []
+            # Round-trips through JSON (the committed-artifact path).
+            assert validate_record(json.loads(json.dumps(record))) == []
+        finally:
+            fleet.close()
+        # close() is idempotent and reaps every worker.
+        fleet.close()
+        for worker in fleet.workers:
+            assert not worker.process.is_alive()
+
+    def test_refit_on_one_worker_reaches_every_worker(self):
+        # The PR 7 acceptance test, across process boundaries: worker 0
+        # carries the AutoTuner; its refit must land in the parent-side
+        # store (v >= 2) and be adopted by workers 1 and 2 through their
+        # RemotePolicyStore before the run ends.
+        scenario = quick_scenario()
+        initial = SingleR(0.0, 0.2)
+        fleet = ProcessFleet(
+            3,
+            scenario,
+            policy=initial,
+            probe_fraction=0.2,
+            autotune=dict(
+                percentile=0.95,
+                budget=0.2,
+                batch_size=50,
+                refit_interval=100,
+                window=1_000,
+                use_correlation=False,
+            ),
+            time_scale=0.0,
+            seed=7,
+        )
+        try:
+            generator = LoadGenerator(fleet, rng=7)
+            result = generator.run(900, mode="closed", concurrency=8)
+            assert result.issued == 900
+            stats = fleet.stats()
+            tuned = stats["per_shard"][0]
+            assert tuned["refits"] >= 1, "the tuned worker never refit"
+            assert fleet.store.version >= 2
+            sources = [source for _, source in fleet.store.publishes]
+            assert any(s.startswith("shard0:refit") for s in sources)
+            fitted_spec = tuned["policy_spec"]
+            for worker in stats["per_shard"][1:]:
+                assert worker["store_version"] >= 2
+                assert worker["policy_spec"] == fitted_spec
+        finally:
+            fleet.close()
+
+    def test_worker_crash_keeps_front_door_responsive(self):
+        # Kill one worker mid-run: the fleet must keep serving from the
+        # survivor, never hang, and account for every issued request
+        # (in-flight and rerouted-away requests count as shed).
+        scenario = quick_scenario()
+        fleet = ProcessFleet(
+            2,
+            scenario,
+            policy=scenario.build_policy(),
+            time_scale=1e-4,
+            seed=11,
+        )
+        try:
+            killer = threading.Timer(0.03, fleet.workers[1].kill)
+            generator = LoadGenerator(fleet, rng=11)
+            killer.start()
+            result = generator.run(400, mode="open", target_rps=3000)
+            killer.join()
+            assert not fleet.workers[1].alive
+            assert fleet.workers[0].alive
+            assert result.issued == 400
+            assert (
+                result.issued
+                == result.completed + result.shed + result.errors
+            )
+            assert result.completed > 0  # the survivor kept serving
+            stats = fleet.stats()
+            for worker in stats["per_shard"]:
+                assert (
+                    worker["issued"]
+                    == worker["completed"] + worker["shed"] + worker["errors"]
+                )
+            # The dead worker's responses survive in the parent-side
+            # shadow, so the merged counters still balance — and the
+            # record of a crashed run is still schema-valid.
+            record = as_record(result, scenario.name, {"procs": 2})
+            assert validate_record(record) == []
+        finally:
+            fleet.close()
+
+    def test_all_workers_dead_sheds_instead_of_hanging(self):
+        scenario = quick_scenario()
+        fleet = ProcessFleet(
+            1,
+            scenario,
+            policy=scenario.build_policy(),
+            time_scale=0.0,
+            seed=5,
+        )
+        try:
+            fleet.workers[0].kill()
+            fleet.workers[0].process.join(timeout=10)
+
+            async def drive():
+                return [await fleet.request(i) for i in range(5)]
+
+            outcomes = asyncio.run(drive())
+            assert outcomes == [None] * 5
+            assert fleet.shed_total == 5
+        finally:
+            fleet.close()
+
+    def test_constructor_validation(self):
+        scenario = quick_scenario()
+        with pytest.raises(ValueError, match="n_procs"):
+            ProcessFleet(0, scenario)
+        with pytest.raises(ValueError, match="unix, tcp"):
+            ProcessFleet(1, scenario, transport="smoke-signal")
